@@ -1,0 +1,123 @@
+package onchip
+
+// One benchmark per table and figure of the paper's evaluation: each
+// regenerates the corresponding artifact end-to-end (workload generation,
+// simulation, model evaluation, rendering). Run with
+//
+//	go test -bench=. -benchmem
+//
+// The per-iteration reference budget is kept moderate so the whole
+// harness completes in minutes; cmd/memalloc runs the same experiments
+// at larger scale.
+
+import (
+	"testing"
+
+	"onchip/internal/experiments"
+)
+
+// benchRefs is the per-workload simulation budget used by the
+// benchmarks.
+const benchRefs = 400_000
+
+func runExperiment(b *testing.B, id string, refs int) {
+	b.Helper()
+	opt := experiments.Options{Refs: refs}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Text == "" {
+			b.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the processor survey with model pricing.
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1", benchRefs) }
+
+// BenchmarkTable3 regenerates the mpeg_play stall comparison
+// (user-only vs Ultrix vs Mach).
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3", benchRefs) }
+
+// BenchmarkTable4 regenerates the full-suite stall breakdown.
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "table4", benchRefs/2) }
+
+// BenchmarkFig3 regenerates the CPI-components chart.
+func BenchmarkFig3(b *testing.B) { runExperiment(b, "fig3", benchRefs/2) }
+
+// BenchmarkFig4 regenerates the TLB area curves.
+func BenchmarkFig4(b *testing.B) { runExperiment(b, "fig4", benchRefs) }
+
+// BenchmarkFig5 regenerates the set-associative vs fully-associative
+// TLB cost ratios.
+func BenchmarkFig5(b *testing.B) { runExperiment(b, "fig5", benchRefs) }
+
+// BenchmarkFig6 regenerates the cache area curves.
+func BenchmarkFig6(b *testing.B) { runExperiment(b, "fig6", benchRefs) }
+
+// BenchmarkFig7 regenerates the TLB service-time curve (Tapeworm over
+// the suite under Mach).
+func BenchmarkFig7(b *testing.B) { runExperiment(b, "fig7", benchRefs) }
+
+// BenchmarkFig8 regenerates the set-associative TLB comparison on
+// video_play.
+func BenchmarkFig8(b *testing.B) { runExperiment(b, "fig8", benchRefs) }
+
+// BenchmarkFig9 regenerates the I-cache size x line-size sweep for both
+// operating systems.
+func BenchmarkFig9(b *testing.B) { runExperiment(b, "fig9", benchRefs/2) }
+
+// BenchmarkFig10 regenerates the I-cache associativity sweep.
+func BenchmarkFig10(b *testing.B) { runExperiment(b, "fig10", benchRefs/2) }
+
+// BenchmarkTable6 regenerates the full cost/benefit search: design-space
+// sweeps under Mach plus enumeration and ranking.
+func BenchmarkTable6(b *testing.B) { runExperiment(b, "table6", benchRefs/2) }
+
+// BenchmarkTable7 regenerates the associativity-restricted search.
+func BenchmarkTable7(b *testing.B) { runExperiment(b, "table7", benchRefs/2) }
+
+// BenchmarkPaths regenerates the service-invocation path-length table.
+func BenchmarkPaths(b *testing.B) { runExperiment(b, "paths", benchRefs) }
+
+// BenchmarkSampling regenerates the trace-sampling accuracy check.
+func BenchmarkSampling(b *testing.B) { runExperiment(b, "sampling", 800_000) }
+
+// BenchmarkExtATime regenerates the access-time-constrained search (the
+// paper's proposed extension).
+func BenchmarkExtATime(b *testing.B) { runExperiment(b, "ext-atime", benchRefs/2) }
+
+// BenchmarkExtOOL regenerates the out-of-line threshold sweep.
+func BenchmarkExtOOL(b *testing.B) { runExperiment(b, "ext-ool", benchRefs) }
+
+// BenchmarkExtServers regenerates the server-decomposition comparison.
+func BenchmarkExtServers(b *testing.B) { runExperiment(b, "ext-servers", benchRefs) }
+
+// BenchmarkExtWPolicy regenerates the write-policy comparison.
+func BenchmarkExtWPolicy(b *testing.B) { runExperiment(b, "ext-wpolicy", benchRefs) }
+
+// BenchmarkFig9D regenerates the D-cache miss-ratio sweep (section 5.3 text).
+func BenchmarkFig9D(b *testing.B) { runExperiment(b, "fig9d", benchRefs/2) }
+
+// BenchmarkExtMulti regenerates the multiprogramming-interference
+// comparison.
+func BenchmarkExtMulti(b *testing.B) { runExperiment(b, "ext-multi", benchRefs) }
+
+// BenchmarkExtUnified regenerates the split-vs-unified comparison.
+func BenchmarkExtUnified(b *testing.B) { runExperiment(b, "ext-unified", benchRefs) }
+
+// BenchmarkExtL2 regenerates the second-level-cache comparison.
+func BenchmarkExtL2(b *testing.B) { runExperiment(b, "ext-l2", benchRefs/2) }
+
+// BenchmarkExtPrefetch regenerates the prefetch-vs-line-size comparison.
+func BenchmarkExtPrefetch(b *testing.B) { runExperiment(b, "ext-prefetch", benchRefs/2) }
+
+// BenchmarkExtWBuf regenerates the write-buffer depth sweep.
+func BenchmarkExtWBuf(b *testing.B) { runExperiment(b, "ext-wbuf", benchRefs/2) }
+
+// BenchmarkExtMultiAPI regenerates the shared-vs-per-application API
+// server comparison.
+func BenchmarkExtMultiAPI(b *testing.B) { runExperiment(b, "ext-multiapi", benchRefs) }

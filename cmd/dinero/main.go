@@ -1,0 +1,107 @@
+// Command dinero is a classic trace-driven memory-system simulator in
+// the style of DineroIII/cache2000: it replays a binary trace file
+// (produced by cmd/tracegen) against a configurable cache/TLB/write-
+// buffer hierarchy and prints miss statistics and the CPI breakdown.
+//
+// Usage:
+//
+//	tracegen -workload mpeg_play -os Mach -refs 2000000 -o mpeg.octr
+//	dinero -i mpeg.octr -isize 8192 -iline 4 -iassoc 1 \
+//	       -dsize 8192 -dline 4 -dassoc 2 -tlb 64 -tlbassoc 0
+//
+// Associativity 0 means fully associative. -unified merges the two
+// caches into one (sized by the -i flags).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"onchip/internal/area"
+	"onchip/internal/cache"
+	"onchip/internal/machine"
+	"onchip/internal/tlb"
+	"onchip/internal/trace"
+	"onchip/internal/wbuf"
+)
+
+func main() {
+	in := flag.String("i", "", "input trace file (required)")
+	isize := flag.Int("isize", 8192, "I-cache capacity in bytes")
+	iline := flag.Int("iline", 4, "I-cache line size in words")
+	iassoc := flag.Int("iassoc", 1, "I-cache associativity (0 = fully associative)")
+	dsize := flag.Int("dsize", 8192, "D-cache capacity in bytes")
+	dline := flag.Int("dline", 4, "D-cache line size in words")
+	dassoc := flag.Int("dassoc", 1, "D-cache associativity (0 = fully associative)")
+	dwb := flag.Bool("dwriteback", false, "write-back D-cache (default write-through)")
+	unified := flag.Bool("unified", false, "single unified cache (uses the -i flags)")
+	tlbEntries := flag.Int("tlb", 64, "TLB entries")
+	tlbAssoc := flag.Int("tlbassoc", 0, "TLB associativity (0 = fully associative)")
+	wbEntries := flag.Int("wb", 4, "write buffer entries")
+	flag.Parse()
+
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := machine.Config{
+		ICache:  cache.Config{CacheConfig: area.CacheConfig{CapacityBytes: *isize, LineWords: *iline, Assoc: *iassoc}},
+		DCache:  cache.Config{CacheConfig: area.CacheConfig{CapacityBytes: *dsize, LineWords: *dline, Assoc: *dassoc}, WriteBack: *dwb},
+		TLB:     tlb.Config{TLBConfig: area.TLBConfig{Entries: *tlbEntries, Assoc: *tlbAssoc}},
+		WB:      wbuf.Config{Entries: *wbEntries, WriteCycles: 5},
+		Unified: *unified,
+	}
+	for _, c := range []area.CacheConfig{cfg.ICache.CacheConfig, cfg.DCache.CacheConfig} {
+		if err := c.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "dinero:", err)
+			os.Exit(2)
+		}
+	}
+	if err := cfg.TLB.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "dinero:", err)
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dinero:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dinero:", err)
+		os.Exit(1)
+	}
+
+	m := machine.New(cfg)
+	n, err := r.Drain(m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dinero:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("trace: %s (%d references, %d instructions)\n\n", *in, n, m.Instructions())
+	printCache := "I-cache"
+	if *unified {
+		printCache = "unified cache"
+	}
+	is := m.ICache().Stats()
+	fmt.Printf("%-14s %v\n", printCache+":", cfg.ICache.CacheConfig)
+	fmt.Printf("  accesses %12d   misses %10d   miss ratio %.4f\n", is.Accesses(), is.Misses(), is.MissRatio())
+	if !*unified {
+		ds := m.DCache().Stats()
+		fmt.Printf("%-14s %v (write-back: %v)\n", "D-cache:", cfg.DCache.CacheConfig, *dwb)
+		fmt.Printf("  accesses %12d   misses %10d   miss ratio %.4f   writebacks %d\n",
+			ds.Accesses(), ds.Misses(), ds.MissRatio(), ds.Writebacks)
+	}
+	ts := m.TLB().TLB().Stats()
+	svc := m.TLB().Service()
+	fmt.Printf("%-14s %v\n", "TLB:", cfg.TLB.TLBConfig)
+	fmt.Printf("  probes   %12d   misses %10d   miss ratio %.5f\n", ts.Probes, ts.Misses, ts.MissRatio())
+	fmt.Printf("  service: user %d, kernel %d, first-touch %d (%.0f cycles total)\n",
+		svc.Count[tlb.UserMiss], svc.Count[tlb.KernelMiss], svc.Count[tlb.OtherMiss], float64(svc.TotalCycles()))
+	fmt.Printf("\n%v\n", m.Breakdown())
+	fmt.Printf("simulated time at %.2f MHz: %.3f s\n", machine.ClockHz/1e6, m.Breakdown().Seconds())
+}

@@ -1,0 +1,76 @@
+// Command memalloc reproduces the tables and figures of Nagle, Uhlig,
+// Mudge & Sechrest, "Optimal Allocation of On-chip Memory for
+// Multiple-API Operating Systems" (ISCA 1994).
+//
+// Usage:
+//
+//	memalloc [-refs N] list
+//	memalloc [-refs N] <experiment> [<experiment> ...]
+//	memalloc [-refs N] all
+//
+// Experiments are named after the paper's artifacts (table1, table3,
+// table4, table6, table7, fig3..fig10) plus the methodology checks
+// (paths, sampling). -refs controls the simulated references per
+// workload/OS run; larger is slower and less noisy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"onchip/internal/experiments"
+)
+
+func main() {
+	refs := flag.Int("refs", 0, "simulated references per workload run (0 = experiment default)")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if args[0] == "list" {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %-9s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+	ids := args
+	if args[0] == "all" {
+		ids = experiments.IDs()
+	}
+
+	opt := experiments.Options{Refs: *refs}
+	failed := false
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memalloc:", err)
+			failed = true
+			continue
+		}
+		fmt.Printf("=== %s: %s (%.1fs)\n\n%s\n", res.ID, res.Title, time.Since(start).Seconds(), res.Text)
+		for _, n := range res.Notes {
+			fmt.Printf("  note: %s\n", n)
+		}
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: memalloc [-refs N] list | all | <experiment>...
+
+Reproduces the evaluation of "Optimal Allocation of On-chip Memory for
+Multiple-API Operating Systems" (ISCA 1994). Run "memalloc list" for the
+experiment catalog.
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,55 @@
+// Command monster runs the Monster-style hardware-monitoring analysis:
+// a workload executes on DECstation 3100 memory parameters and every
+// stall cycle is attributed to its cause, reproducing rows of the
+// paper's Tables 3 and 4.
+//
+// Usage:
+//
+//	monster -workload mpeg_play -refs 2000000          # Ultrix, Mach and user-only
+//	monster -suite                                     # all workloads (Table 4)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"onchip/internal/machine"
+	"onchip/internal/monitor"
+	"onchip/internal/osmodel"
+	"onchip/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "mpeg_play", "workload name")
+	refs := flag.Int("refs", 2_000_000, "references to simulate per run")
+	suite := flag.Bool("suite", false, "run the whole suite under both OSes (Table 4)")
+	flag.Parse()
+
+	cfg := machine.DECstation3100()
+	if *suite {
+		for _, v := range []osmodel.Variant{osmodel.Ultrix, osmodel.Mach} {
+			for _, row := range monitor.MeasureSuite(v, workload.All(), *refs, cfg) {
+				printRow(row)
+			}
+		}
+		return
+	}
+
+	spec, err := workload.ByName(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "monster:", err)
+		os.Exit(1)
+	}
+	printRow(monitor.MeasureUserOnly(spec, *refs, cfg))
+	printRow(monitor.Measure(osmodel.Ultrix, spec, *refs, cfg))
+	printRow(monitor.Measure(osmodel.Mach, spec, *refs, cfg))
+}
+
+func printRow(r monitor.Row) {
+	fmt.Printf("%-11s %-7s %s\n", r.Workload, r.OS, r.Breakdown)
+	if r.Gen.Instrs > 0 {
+		fmt.Printf("%-11s %-7s time split: app %.0f%% kernel %.0f%% bsd %.0f%% x %.0f%% (%d calls)\n",
+			"", "", r.Gen.AppPct(), r.Gen.KernelPct(), r.Gen.BSDPct(), r.Gen.XPct(), r.Gen.Calls)
+	}
+}

@@ -1,0 +1,86 @@
+// Command tapeworm runs kernel-based TLB simulation: one workload run
+// drives any number of alternative TLB configurations simultaneously
+// from the hardware TLB's miss events, the method behind the paper's
+// Figures 7 and 8.
+//
+// Usage:
+//
+//	tapeworm -workload video_play -os Mach -refs 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"onchip/internal/area"
+	"onchip/internal/machine"
+	"onchip/internal/osmodel"
+	"onchip/internal/tapeworm"
+	"onchip/internal/tlb"
+	"onchip/internal/trace"
+	"onchip/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "video_play", "workload name")
+	osName := flag.String("os", "Mach", "operating system: Ultrix or Mach")
+	refs := flag.Int("refs", 2_000_000, "references to simulate")
+	flag.Parse()
+
+	spec, err := workload.ByName(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tapeworm:", err)
+		os.Exit(1)
+	}
+	var v osmodel.Variant
+	switch *osName {
+	case "Ultrix", "ultrix":
+		v = osmodel.Ultrix
+	case "Mach", "mach":
+		v = osmodel.Mach
+	default:
+		fmt.Fprintf(os.Stderr, "tapeworm: unknown OS %q\n", *osName)
+		os.Exit(1)
+	}
+
+	// The Table 5 TLB design space plus the small fully-associative
+	// sizes of Figure 7.
+	var configs []tlb.Config
+	for _, n := range []int{32, 64, 128, 256, 512} {
+		configs = append(configs, tlb.Config{TLBConfig: area.TLBConfig{Entries: n, Assoc: area.FullyAssociative}})
+	}
+	for _, a := range []int{1, 2, 4, 8} {
+		for _, n := range []int{64, 128, 256, 512} {
+			configs = append(configs, tlb.Config{TLBConfig: area.TLBConfig{Entries: n, Assoc: a}})
+		}
+	}
+
+	hw := tlb.NewManaged(tlb.R2000(), tlb.DefaultCosts())
+	tw := tapeworm.Attach(hw, configs...)
+	var instrs uint64
+	sink := trace.SinkFunc(func(r trace.Ref) {
+		if r.Kind == trace.IFetch {
+			instrs++
+		}
+		hw.Translate(r.Addr, r.ASID)
+	})
+	sys := osmodel.NewSystem(v, spec)
+	sys.Generate(*refs/3, sink) // warm-up
+	hw.ResetService()
+	tw.ResetServices()
+	instrs = 0
+	sys.Generate(*refs, sink)
+
+	scale := float64(spec.FullRunInstrs) / float64(instrs)
+	fmt.Printf("%s under %v: %d instructions simulated, scaled x%.0f to the full run\n\n",
+		spec.Name, v, instrs, scale)
+	fmt.Printf("%-28s %10s %10s %10s %12s\n", "TLB", "user", "kernel", "other", "seconds")
+	for _, r := range tw.Results() {
+		secs := float64(r.Service.TotalCycles()) * scale / machine.ClockHz
+		fmt.Printf("%-28s %10d %10d %10d %12.2f\n",
+			r.Config.TLBConfig.String(),
+			r.Service.Count[tlb.UserMiss], r.Service.Count[tlb.KernelMiss], r.Service.Count[tlb.OtherMiss],
+			secs)
+	}
+}

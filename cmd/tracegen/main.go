@@ -1,0 +1,117 @@
+// Command tracegen generates and inspects binary memory-reference
+// traces from the OS/workload behavioral model -- the reproduction's
+// stand-in for the paper's Monster-captured DECstation traces.
+//
+// Usage:
+//
+//	tracegen -workload mpeg_play -os Mach -refs 1000000 -o trace.octr
+//	tracegen -stat trace.octr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"onchip/internal/osmodel"
+	"onchip/internal/trace"
+	"onchip/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "mpeg_play", "workload name (see -list)")
+	osName := flag.String("os", "Mach", "operating system: Ultrix or Mach")
+	refs := flag.Int("refs", 1_000_000, "references to generate")
+	out := flag.String("o", "", "output trace file (default stdout summary only)")
+	stat := flag.String("stat", "", "inspect an existing trace file instead of generating")
+	list := flag.Bool("list", false, "list workload names")
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *stat != "" {
+		if err := statFile(*stat); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := generate(*wl, *osName, *refs, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func variant(name string) (osmodel.Variant, error) {
+	switch name {
+	case "Ultrix", "ultrix":
+		return osmodel.Ultrix, nil
+	case "Mach", "mach":
+		return osmodel.Mach, nil
+	}
+	return 0, fmt.Errorf("unknown OS %q (want Ultrix or Mach)", name)
+}
+
+func generate(wl, osName string, refs int, out string) error {
+	spec, err := workload.ByName(wl)
+	if err != nil {
+		return err
+	}
+	v, err := variant(osName)
+	if err != nil {
+		return err
+	}
+	var counter trace.Counter
+	sinks := trace.Tee{&counter}
+	var w *trace.Writer
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w, err = trace.NewWriter(f)
+		if err != nil {
+			return err
+		}
+		sinks = append(sinks, w)
+	}
+	gen := osmodel.NewSystem(v, spec).Run(refs, sinks)
+	if w != nil {
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s under %s: %d refs (%d ifetch, %d load, %d store), %d instrs, %d OS calls\n",
+		spec.Name, v, counter.Total,
+		counter.ByKind[trace.IFetch], counter.ByKind[trace.Load], counter.ByKind[trace.Store],
+		gen.Instrs, gen.Calls)
+	fmt.Printf("time split: app %.0f%%, kernel %.0f%%, bsd %.0f%%, x %.0f%%\n",
+		gen.AppPct(), gen.KernelPct(), gen.BSDPct(), gen.XPct())
+	return nil
+}
+
+func statFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	var c trace.Counter
+	n, err := r.Drain(&c)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d records (%d ifetch, %d load, %d store; %d user, %d kernel)\n",
+		path, n, c.ByKind[trace.IFetch], c.ByKind[trace.Load], c.ByKind[trace.Store],
+		c.ByMode[trace.User], c.ByMode[trace.Kernel])
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package onchip is a reproduction of Nagle, Uhlig, Mudge & Sechrest,
+// "Optimal Allocation of On-chip Memory for Multiple-API Operating
+// Systems" (ISCA 1994): an MQF-style die-area model, cache/TLB/write-
+// buffer simulators, a behavioral model of the Ultrix and Mach 3.0
+// operating systems running the paper's benchmark suite, Monster-style
+// stall attribution, Tapeworm-style kernel-based TLB simulation, and the
+// cost/benefit search over the on-chip memory design space.
+//
+// See README.md for an overview, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-versus-measured results.
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation; cmd/memalloc renders them interactively.
+package onchip

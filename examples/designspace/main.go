@@ -1,0 +1,37 @@
+// Designspace: repeat the paper's Section 5.4 optimization with a custom
+// area budget. The analytic performance model makes the search instant,
+// so the example sweeps several budgets and shows how the optimal
+// allocation changes as silicon gets cheaper -- the design-space question
+// the paper's methodology was built to answer.
+package main
+
+import (
+	"fmt"
+
+	"onchip/internal/area"
+	"onchip/internal/search"
+)
+
+func main() {
+	space := search.Table5()
+	model := search.MachLike()
+	am := area.Default()
+
+	for _, budget := range []float64{125_000, 250_000, 500_000} {
+		allocs := search.Enumerate(space, am, budget, model)
+		if len(allocs) == 0 {
+			fmt.Printf("budget %.0f rbe: no feasible configuration\n", budget)
+			continue
+		}
+		best := allocs[0]
+		fmt.Printf("budget %7.0f rbe (%6d feasible): best CPI %.3f\n  %v\n",
+			budget, len(allocs), best.CPI, best)
+	}
+
+	// The same search under a single-API (Ultrix-like) model shows the
+	// paper's conclusion in reverse: with services in the kernel, less
+	// of the budget needs to go to the TLB and I-cache.
+	fmt.Println("\nsame budget, single-API (Ultrix-like) performance model:")
+	allocs := search.Enumerate(space, am, area.BudgetRBE, search.UltrixLike())
+	fmt.Printf("  %v\n", allocs[0])
+}

@@ -1,0 +1,48 @@
+// Osimpact: the paper's Section 4 observation, live. Run the same
+// workload binary under the single-API system (Ultrix) and the
+// multiple-API system (Mach) on identical hardware and watch the stall
+// profile shift from the D-cache toward the TLB and I-cache.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"onchip/internal/machine"
+	"onchip/internal/monitor"
+	"onchip/internal/osmodel"
+	"onchip/internal/workload"
+)
+
+func main() {
+	name := "mpeg_play"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	spec, err := workload.ByName(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	cfg := machine.DECstation3100()
+	const refs = 1_500_000
+
+	fmt.Printf("workload %s on DECstation 3100 parameters (%d refs)\n\n", spec.Name, refs)
+	ult := monitor.Measure(osmodel.Ultrix, spec, refs, cfg)
+	mach := monitor.Measure(osmodel.Mach, spec, refs, cfg)
+
+	for _, r := range []monitor.Row{ult, mach} {
+		fmt.Printf("%-7s %s\n", r.OS, r.Breakdown)
+	}
+
+	fmt.Println("\nwhere the time goes under Mach:")
+	fmt.Printf("  task %.0f%%  kernel %.0f%%  BSD server %.0f%%  X server %.0f%%\n",
+		mach.Gen.AppPct(), mach.Gen.KernelPct(), mach.Gen.BSDPct(), mach.Gen.XPct())
+
+	dTLB := mach.Breakdown.Comp[machine.CompTLB] - ult.Breakdown.Comp[machine.CompTLB]
+	dI := mach.Breakdown.Comp[machine.CompICache] - ult.Breakdown.Comp[machine.CompICache]
+	fmt.Printf("\nmoving to the multiple-API system costs %.2f CPI of TLB stalls and %.2f CPI of I-cache stalls\n", dTLB, dI)
+	fmt.Println("(the paper's Section 4: the longer service-invocation paths and extra address")
+	fmt.Println(" spaces shift pressure onto exactly the structures a chip designer must size)")
+}

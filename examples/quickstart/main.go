@@ -1,0 +1,42 @@
+// Quickstart: price an on-chip memory configuration with the MQF area
+// model, run a workload on it, and report cost and performance together
+// -- the paper's cost/benefit loop in twenty lines.
+package main
+
+import (
+	"fmt"
+
+	"onchip/internal/area"
+	"onchip/internal/cache"
+	"onchip/internal/machine"
+	"onchip/internal/monitor"
+	"onchip/internal/osmodel"
+	"onchip/internal/tlb"
+	"onchip/internal/wbuf"
+	"onchip/internal/workload"
+)
+
+func main() {
+	// The paper's best allocation (Table 6, rank 1): a 512-entry 8-way
+	// TLB, a 16-KB I-cache and an 8-KB D-cache, both 8-way with 8-word
+	// lines.
+	tlbCfg := area.TLBConfig{Entries: 512, Assoc: 8}
+	iCfg := area.CacheConfig{CapacityBytes: 16 << 10, LineWords: 8, Assoc: 8}
+	dCfg := area.CacheConfig{CapacityBytes: 8 << 10, LineWords: 8, Assoc: 8}
+
+	m := area.Default()
+	fmt.Printf("cost: TLB %.0f + I-cache %.0f + D-cache %.0f = %.0f rbe (budget %d)\n",
+		m.TLBArea(tlbCfg), m.CacheArea(iCfg), m.CacheArea(dCfg),
+		m.TotalArea(tlbCfg, iCfg, dCfg), area.BudgetRBE)
+
+	// Benefit: run mpeg_play under Mach on a machine built from the
+	// same configuration.
+	cfg := machine.Config{
+		ICache: cache.Config{CacheConfig: iCfg},
+		DCache: cache.Config{CacheConfig: dCfg},
+		TLB:    tlb.Config{TLBConfig: tlbCfg},
+		WB:     wbuf.DECstation3100(),
+	}
+	row := monitor.Measure(osmodel.Mach, workload.MPEGPlay(), 1_000_000, cfg)
+	fmt.Printf("benefit: %s under Mach: %s\n", row.Workload, row.Breakdown)
+}

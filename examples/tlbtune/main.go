@@ -1,0 +1,59 @@
+// Tlbtune: size a TLB with kernel-based (Tapeworm) simulation. One
+// workload run prices every candidate configuration simultaneously, then
+// the MQF area model attaches die cost -- reproducing the trade-off
+// behind the paper's conclusion that a large set-associative TLB is the
+// cheapest CPI reduction on the chip.
+package main
+
+import (
+	"fmt"
+
+	"onchip/internal/area"
+	"onchip/internal/machine"
+	"onchip/internal/osmodel"
+	"onchip/internal/tapeworm"
+	"onchip/internal/tlb"
+	"onchip/internal/trace"
+	"onchip/internal/workload"
+)
+
+func main() {
+	spec := workload.VideoPlay()
+	configs := []tlb.Config{
+		{TLBConfig: area.TLBConfig{Entries: 64, Assoc: area.FullyAssociative}},
+		{TLBConfig: area.TLBConfig{Entries: 128, Assoc: 4}},
+		{TLBConfig: area.TLBConfig{Entries: 256, Assoc: area.FullyAssociative}},
+		{TLBConfig: area.TLBConfig{Entries: 256, Assoc: 4}},
+		{TLBConfig: area.TLBConfig{Entries: 512, Assoc: 8}},
+	}
+
+	hw := tlb.NewManaged(tlb.R2000(), tlb.DefaultCosts())
+	tw := tapeworm.Attach(hw, configs...)
+	var instrs uint64
+	sink := trace.SinkFunc(func(r trace.Ref) {
+		if r.Kind == trace.IFetch {
+			instrs++
+		}
+		hw.Translate(r.Addr, r.ASID)
+	})
+	sys := osmodel.NewSystem(osmodel.Mach, spec)
+	sys.Generate(500_000, sink) // warm up
+	hw.ResetService()
+	tw.ResetServices()
+	instrs = 0
+	sys.Generate(1_500_000, sink)
+
+	am := area.Default()
+	fmt.Printf("%s under Mach: TLB candidates by service time and die cost\n\n", spec.Name)
+	fmt.Printf("%-28s %12s %12s %14s\n", "TLB", "CPI", "area (rbe)", "CPI per 10k rbe")
+	for _, r := range tw.Results() {
+		handler := r.Service.Cycles[tlb.UserMiss] + r.Service.Cycles[tlb.KernelMiss]
+		cpi := float64(handler) / float64(instrs)
+		cost := am.TLBArea(r.Config.TLBConfig)
+		fmt.Printf("%-28s %12.4f %12.0f %14.4f\n", r.Config.TLBConfig.String(), cpi, cost, cpi/(cost/10_000))
+	}
+	fmt.Println("\n(the R2000's 64-entry TLB is the worst CPI per unit area on the list; the")
+	fmt.Println(" paper's Figure 5 prices the 256-entry fully-associative and 512-entry 8-way")
+	fmt.Println(" designs at about the same area, so either large TLB is the cheap upgrade)")
+	_ = machine.ClockHz
+}

@@ -1,0 +1,3 @@
+module onchip
+
+go 1.22

@@ -1,0 +1,202 @@
+// Package area implements a structural die-area model for on-chip memory
+// structures (caches and TLBs) in the style of Mulder, Quach and Flynn
+// (MQF), "An area model for on-chip memories and its application", IEEE
+// JSSC 26(2), 1991.
+//
+// Areas are expressed in register-bit equivalents (rbe): the area of a
+// one-bit storage cell in a register file. SRAM and CAM cells are
+// fractions or multiples of an rbe, and array overhead (sense amplifiers,
+// precharge, wordline drivers, decoders, comparators and control) is
+// charged per column, per row, and per way.
+//
+// The original MQF default parameters are not publicly archived, so the
+// model constants used here are calibrated against the quantitative
+// anchors published in Nagle et al., "Optimal Allocation of On-chip
+// Memory for Multiple-API Operating Systems" (ISCA 1994): the Table 6 and
+// Table 7 configuration totals, the 19,000-rbe 512-entry 8-way TLB, the
+// fully-associative/set-associative cost crossover at 64 entries, the 3x
+// cost ratio of an 8-way versus direct-mapped 16-entry TLB, and the ~37%
+// saving from 8-word cache lines. See DESIGN.md section 5.
+package area
+
+import "fmt"
+
+// WordBytes is the machine word size assumed throughout the model. The
+// paper reports all line sizes in 4-byte words.
+const WordBytes = 4
+
+// FullyAssociative is the sentinel associativity value denoting a
+// fully-associative structure (CAM tags, no set index).
+const FullyAssociative = 0
+
+// CacheConfig describes a cache organization to be priced.
+type CacheConfig struct {
+	// CapacityBytes is the total data capacity (excluding tags).
+	CapacityBytes int
+	// LineWords is the line size in 4-byte words.
+	LineWords int
+	// Assoc is the set associativity; 1 means direct-mapped.
+	// FullyAssociative (0) prices a CAM-tagged fully-associative cache.
+	Assoc int
+	// AddressBits is the width of the address used to form tags.
+	// Zero selects the default of 32.
+	AddressBits int
+	// StatusBits is the number of per-line status bits (valid, dirty,
+	// ...). Zero selects the default of 2.
+	StatusBits int
+}
+
+// TLBConfig describes a TLB organization to be priced.
+type TLBConfig struct {
+	// Entries is the total number of translation entries.
+	Entries int
+	// Assoc is the set associativity; FullyAssociative (0) denotes a
+	// CAM-tagged fully-associative TLB; 1 means direct-mapped.
+	Assoc int
+	// VABits is the virtual address width. Zero selects 32.
+	VABits int
+	// PageBits is log2 of the page size. Zero selects 12 (4-KB pages).
+	PageBits int
+	// ASIDBits is the width of the address-space identifier stored with
+	// each tag. Zero selects 6 (64 ASIDs, as on the MIPS R2000).
+	ASIDBits int
+	// DataBits is the payload width per entry (PFN plus permission and
+	// attribute flags). Zero selects 32.
+	DataBits int
+}
+
+// Validate reports whether the configuration is well-formed: a
+// power-of-two line size, a capacity that is a whole number of lines,
+// and an associativity that yields a power-of-two set count (needed for
+// index extraction). The associativity itself may be any positive count
+// -- real designs include 3-, 5- and 12-way structures (Table 1 of the
+// paper) -- or FullyAssociative.
+func (c CacheConfig) Validate() error {
+	if c.LineWords <= 0 || !isPow2(c.LineWords) {
+		return fmt.Errorf("area: cache line %d words is not a positive power of two", c.LineWords)
+	}
+	lineBytes := c.LineWords * WordBytes
+	if c.CapacityBytes < lineBytes || c.CapacityBytes%lineBytes != 0 {
+		return fmt.Errorf("area: cache capacity %dB is not a whole number of %d-byte lines", c.CapacityBytes, lineBytes)
+	}
+	if c.Assoc < 0 {
+		return fmt.Errorf("area: cache associativity %d is negative", c.Assoc)
+	}
+	if c.Assoc > 0 {
+		lines := c.CapacityBytes / lineBytes
+		if lines%c.Assoc != 0 || !isPow2(lines/c.Assoc) {
+			return fmt.Errorf("area: %d lines with associativity %d does not give a power-of-two set count", lines, c.Assoc)
+		}
+	}
+	return nil
+}
+
+// Lines returns the number of cache lines implied by the configuration.
+func (c CacheConfig) Lines() int { return c.CapacityBytes / (c.LineWords * WordBytes) }
+
+// Sets returns the number of sets (lines / associativity); for a
+// fully-associative cache it returns 1.
+func (c CacheConfig) Sets() int {
+	if c.Assoc == FullyAssociative {
+		return 1
+	}
+	return c.Lines() / c.Assoc
+}
+
+func (c CacheConfig) addressBits() int { return defaultInt(c.AddressBits, 32) }
+func (c CacheConfig) statusBits() int  { return defaultInt(c.StatusBits, 2) }
+
+// TagBits returns the number of address tag bits per line (excluding
+// status bits).
+func (c CacheConfig) TagBits() int {
+	offset := log2(c.LineWords * WordBytes)
+	index := 0
+	if c.Assoc != FullyAssociative {
+		index = log2(c.Sets())
+	}
+	return c.addressBits() - index - offset
+}
+
+func (c CacheConfig) String() string {
+	switch {
+	case c.Assoc == FullyAssociative:
+		return fmt.Sprintf("%s, %d-word, fully-assoc", fmtKB(c.CapacityBytes), c.LineWords)
+	default:
+		return fmt.Sprintf("%s, %d-word, %d-way", fmtKB(c.CapacityBytes), c.LineWords, c.Assoc)
+	}
+}
+
+// Validate reports whether the TLB configuration is well-formed: the
+// entry count must be a whole number of ways per set with a power-of-two
+// set count. Associativity may be any positive count (the MIPS TFP used
+// a 3-way TLB) or FullyAssociative.
+func (t TLBConfig) Validate() error {
+	if t.Entries <= 0 {
+		return fmt.Errorf("area: TLB entry count %d is not positive", t.Entries)
+	}
+	if t.Assoc < 0 {
+		return fmt.Errorf("area: TLB associativity %d is negative", t.Assoc)
+	}
+	if t.Assoc > 0 {
+		if t.Entries%t.Assoc != 0 || !isPow2(t.Entries/t.Assoc) {
+			return fmt.Errorf("area: %d entries with associativity %d does not give a power-of-two set count", t.Entries, t.Assoc)
+		}
+	}
+	return nil
+}
+
+// Sets returns the number of TLB sets; 1 for fully-associative.
+func (t TLBConfig) Sets() int {
+	if t.Assoc == FullyAssociative {
+		return 1
+	}
+	return t.Entries / t.Assoc
+}
+
+func (t TLBConfig) vaBits() int   { return defaultInt(t.VABits, 32) }
+func (t TLBConfig) pageBits() int { return defaultInt(t.PageBits, 12) }
+func (t TLBConfig) asidBits() int { return defaultInt(t.ASIDBits, 6) }
+func (t TLBConfig) dataBits() int { return defaultInt(t.DataBits, 32) }
+
+// TagBits returns the number of tag bits per TLB entry: the virtual page
+// number bits not consumed by the set index, plus the ASID.
+func (t TLBConfig) TagBits() int {
+	vpn := t.vaBits() - t.pageBits()
+	if t.Assoc != FullyAssociative {
+		vpn -= log2(t.Sets())
+	}
+	return vpn + t.asidBits()
+}
+
+func (t TLBConfig) String() string {
+	if t.Assoc == FullyAssociative {
+		return fmt.Sprintf("%d-entry fully-assoc TLB", t.Entries)
+	}
+	return fmt.Sprintf("%d-entry %d-way TLB", t.Entries, t.Assoc)
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// log2 returns the base-2 logarithm of a power of two.
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+func defaultInt(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+func fmtKB(bytes int) string {
+	if bytes >= 1024 && bytes%1024 == 0 {
+		return fmt.Sprintf("%d-KB", bytes/1024)
+	}
+	return fmt.Sprintf("%d-B", bytes)
+}

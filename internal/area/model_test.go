@@ -1,0 +1,383 @@
+package area
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// within asserts |got-want|/want <= tol.
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	rel := math.Abs(got-want) / want
+	if rel > tol {
+		t.Errorf("%s = %.0f, want %.0f (+/- %.1f%%); off by %.1f%%", name, got, want, tol*100, rel*100)
+	}
+}
+
+// The paper states a 512-entry, 8-way set-associative TLB costs "just
+// 19,000 rbes" (section 5.4).
+func TestTLBAnchor512Entry8Way(t *testing.T) {
+	m := Default()
+	got := m.TLBArea(TLBConfig{Entries: 512, Assoc: 8})
+	within(t, "TLB(512,8-way)", got, 19000, 0.05)
+}
+
+// "For approximately the same cost, designers can choose either a
+// 256-entry, fully-associative TLB or a 512-entry, 8-way TLB" (sec 5.1).
+func TestTLBAnchorFA256EqualsSA512(t *testing.T) {
+	m := Default()
+	fa := m.TLBArea(TLBConfig{Entries: 256, Assoc: FullyAssociative})
+	sa := m.TLBArea(TLBConfig{Entries: 512, Assoc: 8})
+	if r := fa / sa; r < 0.85 || r > 1.15 {
+		t.Errorf("FA-256 / SA-512x8 cost ratio = %.2f, want ~1.0", r)
+	}
+}
+
+// "A 16-entry, 8-way set-associative TLB requires 3 times the area of a
+// 16-entry, direct-mapped TLB" (section 5.1).
+func TestTLBAnchor16Entry8WayVsDM(t *testing.T) {
+	m := Default()
+	dm := m.TLBArea(TLBConfig{Entries: 16, Assoc: 1})
+	sa8 := m.TLBArea(TLBConfig{Entries: 16, Assoc: 8})
+	if r := sa8 / dm; r < 2.5 || r > 4.0 {
+		t.Errorf("16-entry 8-way/DM area ratio = %.2f, want ~3", r)
+	}
+}
+
+// "Direct-mapped TLBs are always smaller than fully-associative TLBs.
+// However, for small TLBs (< 64 entries), fully-associativity costs less
+// than 4- or 8-way set-associativity. For TLBs with 64 or more entries,
+// the opposite is true." (section 5.1)
+func TestTLBFullyAssociativeCrossover(t *testing.T) {
+	m := Default()
+	for _, entries := range []int{16, 32, 64, 128, 256, 512} {
+		fa := m.TLBArea(TLBConfig{Entries: entries, Assoc: FullyAssociative})
+		dm := m.TLBArea(TLBConfig{Entries: entries, Assoc: 1})
+		if dm >= fa {
+			t.Errorf("%d entries: DM area %.0f >= FA area %.0f; DM should always be smaller", entries, dm, fa)
+		}
+		sa8 := m.TLBArea(TLBConfig{Entries: entries, Assoc: 8})
+		sa4 := m.TLBArea(TLBConfig{Entries: entries, Assoc: 4})
+		if entries < 64 {
+			if fa >= sa8 || fa >= sa4 {
+				t.Errorf("%d entries: FA %.0f should be cheaper than 4-way %.0f and 8-way %.0f", entries, fa, sa4, sa8)
+			}
+		} else if fa <= sa8 {
+			t.Errorf("%d entries: FA %.0f should cost more than 8-way %.0f", entries, fa, sa8)
+		}
+	}
+	// "... a fully-associative TLB requires twice as much area as a 4- or
+	// 8-way, set-associative TLB" -- the ratio should approach 2 at the
+	// large end of the range.
+	fa := m.TLBArea(TLBConfig{Entries: 512, Assoc: FullyAssociative})
+	sa := m.TLBArea(TLBConfig{Entries: 512, Assoc: 8})
+	if r := fa / sa; r < 1.7 || r > 2.4 {
+		t.Errorf("512-entry FA/8-way ratio = %.2f, want ~2", r)
+	}
+}
+
+// "Larger line sizes reduce the cost of a cache by as much as 37% when
+// moving from a 1-word line to an 8-word line size" (section 5.1).
+func TestCacheLineSizeSaving(t *testing.T) {
+	m := Default()
+	maxSaving := 0.0
+	for _, capKB := range []int{2, 4, 8, 16, 32, 64} {
+		one := m.CacheArea(CacheConfig{CapacityBytes: capKB * 1024, LineWords: 1, Assoc: 1})
+		eight := m.CacheArea(CacheConfig{CapacityBytes: capKB * 1024, LineWords: 8, Assoc: 1})
+		saving := 1 - eight/one
+		if saving > maxSaving {
+			maxSaving = saving
+		}
+	}
+	if maxSaving < 0.30 || maxSaving > 0.42 {
+		t.Errorf("max 1-word -> 8-word saving = %.1f%%, want ~37%%", maxSaving*100)
+	}
+}
+
+// "Associativity (not pictured) has a much smaller impact on die area"
+// than line size (section 5.1).
+func TestCacheAssociativityImpactSmall(t *testing.T) {
+	m := Default()
+	dm := m.CacheArea(CacheConfig{CapacityBytes: 16 * 1024, LineWords: 4, Assoc: 1})
+	sa8 := m.CacheArea(CacheConfig{CapacityBytes: 16 * 1024, LineWords: 4, Assoc: 8})
+	if r := sa8 / dm; r > 1.25 {
+		t.Errorf("16-KB cache 8-way/DM area ratio = %.2f, want modest (< 1.25)", r)
+	}
+}
+
+// Table 6 and Table 7 configuration totals. The model constants were
+// calibrated against these; each must reproduce within 2%.
+func TestPaperConfigurationTotals(t *testing.T) {
+	m := Default()
+	tlb512x8 := TLBConfig{Entries: 512, Assoc: 8}
+	cases := []struct {
+		name     string
+		tlb      TLBConfig
+		i, d     CacheConfig
+		wantRBEs float64
+	}{
+		{"table6 row1", tlb512x8,
+			CacheConfig{CapacityBytes: 16 * 1024, LineWords: 8, Assoc: 8},
+			CacheConfig{CapacityBytes: 8 * 1024, LineWords: 8, Assoc: 8}, 163438},
+		{"table6 row4", tlb512x8,
+			CacheConfig{CapacityBytes: 32 * 1024, LineWords: 16, Assoc: 8},
+			CacheConfig{CapacityBytes: 8 * 1024, LineWords: 8, Assoc: 8}, 249089},
+		{"table6 row6", tlb512x8,
+			CacheConfig{CapacityBytes: 32 * 1024, LineWords: 8, Assoc: 4},
+			CacheConfig{CapacityBytes: 8 * 1024, LineWords: 8, Assoc: 8}, 243502},
+		{"table6 row10", tlb512x8,
+			CacheConfig{CapacityBytes: 16 * 1024, LineWords: 16, Assoc: 8},
+			CacheConfig{CapacityBytes: 8 * 1024, LineWords: 8, Assoc: 8}, 167815},
+		{"table7 rank1", tlb512x8,
+			CacheConfig{CapacityBytes: 32 * 1024, LineWords: 8, Assoc: 2},
+			CacheConfig{CapacityBytes: 8 * 1024, LineWords: 4, Assoc: 2}, 239259},
+		{"table7 rank13", tlb512x8,
+			CacheConfig{CapacityBytes: 32 * 1024, LineWords: 16, Assoc: 2},
+			CacheConfig{CapacityBytes: 8 * 1024, LineWords: 8, Assoc: 2}, 232040},
+		{"table7 rank77", tlb512x8,
+			CacheConfig{CapacityBytes: 16 * 1024, LineWords: 8, Assoc: 2},
+			CacheConfig{CapacityBytes: 16 * 1024, LineWords: 2, Assoc: 2}, 212442},
+		{"table7 rank99", tlb512x8,
+			CacheConfig{CapacityBytes: 16 * 1024, LineWords: 8, Assoc: 2},
+			CacheConfig{CapacityBytes: 8 * 1024, LineWords: 8, Assoc: 2}, 151875},
+		{"table7 rank59", TLBConfig{Entries: 64, Assoc: FullyAssociative},
+			CacheConfig{CapacityBytes: 32 * 1024, LineWords: 8, Assoc: 2},
+			CacheConfig{CapacityBytes: 8 * 1024, LineWords: 4, Assoc: 2}, 225438},
+		{"table7 rank1529", TLBConfig{Entries: 64, Assoc: 4},
+			CacheConfig{CapacityBytes: 8 * 1024, LineWords: 1, Assoc: 1},
+			CacheConfig{CapacityBytes: 16 * 1024, LineWords: 2, Assoc: 1}, 176909},
+	}
+	for _, c := range cases {
+		got := m.TotalArea(c.tlb, c.i, c.d)
+		within(t, c.name, got, c.wantRBEs, 0.02)
+	}
+}
+
+func TestCacheValidate(t *testing.T) {
+	bad := []CacheConfig{
+		{CapacityBytes: 0, LineWords: 4, Assoc: 1},
+		{CapacityBytes: 3000, LineWords: 4, Assoc: 1},
+		{CapacityBytes: 8192, LineWords: 3, Assoc: 1},
+		{CapacityBytes: 8192, LineWords: 4, Assoc: 3},
+		{CapacityBytes: 8192, LineWords: 4, Assoc: -1},
+		{CapacityBytes: 64, LineWords: 32, Assoc: 1}, // capacity < one line
+		{CapacityBytes: 128, LineWords: 8, Assoc: 8}, // assoc > lines
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+	good := []CacheConfig{
+		{CapacityBytes: 2048, LineWords: 1, Assoc: 1},
+		{CapacityBytes: 32 * 1024, LineWords: 32, Assoc: 8},
+		{CapacityBytes: 4096, LineWords: 4, Assoc: FullyAssociative},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", c, err)
+		}
+	}
+}
+
+func TestTLBValidate(t *testing.T) {
+	bad := []TLBConfig{
+		{Entries: 0, Assoc: 1},
+		{Entries: 48, Assoc: 1},
+		{Entries: 64, Assoc: 3},
+		{Entries: 4, Assoc: 8},
+		{Entries: 64, Assoc: -2},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+	if err := (TLBConfig{Entries: 64, Assoc: FullyAssociative}).Validate(); err != nil {
+		t.Errorf("FA TLB should validate: %v", err)
+	}
+}
+
+func TestCacheGeometryConsistency(t *testing.T) {
+	m := Default()
+	c := CacheConfig{CapacityBytes: 8 * 1024, LineWords: 4, Assoc: 2}
+	_, g := m.CacheAreaGeometry(c)
+	if g.Rows != c.Sets() {
+		t.Errorf("rows = %d, want sets = %d", g.Rows, c.Sets())
+	}
+	wantCols := c.Assoc * (c.LineWords*WordBytes*8 + g.TagBits + g.StatusBits + g.LRUBits)
+	if g.Cols != wantCols {
+		t.Errorf("cols = %d, want %d", g.Cols, wantCols)
+	}
+	if g.SRAMBits != g.Rows*g.Cols {
+		t.Errorf("SRAM bits %d != rows*cols %d", g.SRAMBits, g.Rows*g.Cols)
+	}
+}
+
+func TestTagBits(t *testing.T) {
+	// 8-KB direct-mapped cache with 4-word (16-byte) lines: 512 sets,
+	// 4 offset bits, 9 index bits -> 19 tag bits on a 32-bit address.
+	c := CacheConfig{CapacityBytes: 8 * 1024, LineWords: 4, Assoc: 1}
+	if got := c.TagBits(); got != 19 {
+		t.Errorf("TagBits = %d, want 19", got)
+	}
+	// Fully-associative: no index bits consumed.
+	c.Assoc = FullyAssociative
+	if got := c.TagBits(); got != 28 {
+		t.Errorf("FA TagBits = %d, want 28", got)
+	}
+	// 512-entry 8-way TLB: 64 sets, 20-bit VPN -> 14 VPN tag bits + 6
+	// ASID bits = 20.
+	tl := TLBConfig{Entries: 512, Assoc: 8}
+	if got := tl.TagBits(); got != 20 {
+		t.Errorf("TLB TagBits = %d, want 20", got)
+	}
+}
+
+// Property: cache area is strictly monotone in capacity for fixed line
+// size and associativity.
+func TestCacheAreaMonotoneInCapacity(t *testing.T) {
+	m := Default()
+	for _, line := range []int{1, 2, 4, 8, 16, 32} {
+		for _, assoc := range []int{1, 2, 4, 8} {
+			prev := 0.0
+			for capKB := 2; capKB <= 64; capKB *= 2 {
+				c := CacheConfig{CapacityBytes: capKB * 1024, LineWords: line, Assoc: assoc}
+				if c.Validate() != nil {
+					continue
+				}
+				a := m.CacheArea(c)
+				if a <= prev {
+					t.Errorf("area not monotone: %v = %.0f, previous %.0f", c, a, prev)
+				}
+				prev = a
+			}
+		}
+	}
+}
+
+// Property: TLB area is strictly monotone in entry count for fixed
+// associativity.
+func TestTLBAreaMonotoneInEntries(t *testing.T) {
+	m := Default()
+	for _, assoc := range []int{FullyAssociative, 1, 2, 4, 8} {
+		prev := 0.0
+		for entries := 16; entries <= 512; entries *= 2 {
+			c := TLBConfig{Entries: entries, Assoc: assoc}
+			if c.Validate() != nil {
+				continue
+			}
+			a := m.TLBArea(c)
+			if a <= prev {
+				t.Errorf("area not monotone: %v = %.0f, previous %.0f", c, a, prev)
+			}
+			prev = a
+		}
+	}
+}
+
+// Property (testing/quick): for any valid power-of-two geometry, area is
+// positive and tag bits amortize -- doubling the line size never
+// increases total SRAM bits.
+func TestCacheAreaQuickProperties(t *testing.T) {
+	m := Default()
+	f := func(capExp, lineExp, assocExp uint8) bool {
+		capKB := 1 << (1 + capExp%6) // 2..64 KB
+		line := 1 << (lineExp % 6)   // 1..32 words
+		assoc := 1 << (assocExp % 4) // 1..8
+		c := CacheConfig{CapacityBytes: capKB * 1024, LineWords: line, Assoc: assoc}
+		if c.Validate() != nil {
+			return true
+		}
+		a, g := m.CacheAreaGeometry(c)
+		if a <= 0 || g.SRAMBits <= c.CapacityBytes*8 {
+			return false // must at least hold the data bits plus tags
+		}
+		if line < 32 {
+			c2 := c
+			c2.LineWords = line * 2
+			if c2.Validate() == nil {
+				_, g2 := m.CacheAreaGeometry(c2)
+				if g2.SRAMBits > g.SRAMBits {
+					return false // tag amortization: fewer total bits with longer lines
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (testing/quick): TLB area is positive and FA is never cheaper
+// than direct-mapped at the same entry count.
+func TestTLBAreaQuickProperties(t *testing.T) {
+	m := Default()
+	f := func(entExp, assocExp uint8) bool {
+		entries := 1 << (4 + entExp%6) // 16..512
+		assoc := 1 << (assocExp % 4)   // 1..8
+		c := TLBConfig{Entries: entries, Assoc: assoc}
+		if c.Validate() != nil {
+			return true
+		}
+		sa := m.TLBArea(c)
+		fa := m.TLBArea(TLBConfig{Entries: entries, Assoc: FullyAssociative})
+		dm := m.TLBArea(TLBConfig{Entries: entries, Assoc: 1})
+		return sa > 0 && fa > dm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBudgetHelpers(t *testing.T) {
+	m := Default()
+	tlb := TLBConfig{Entries: 512, Assoc: 8}
+	ic := CacheConfig{CapacityBytes: 16 * 1024, LineWords: 8, Assoc: 8}
+	dc := CacheConfig{CapacityBytes: 8 * 1024, LineWords: 8, Assoc: 8}
+	if !m.FitsBudget(BudgetRBE, tlb, ic, dc) {
+		t.Errorf("table6 row1 config should fit the 250k budget (area=%.0f)", m.TotalArea(tlb, ic, dc))
+	}
+	big := CacheConfig{CapacityBytes: 64 * 1024, LineWords: 1, Assoc: 8}
+	if m.FitsBudget(BudgetRBE, tlb, big, big) {
+		t.Error("two 64-KB 1-word-line caches should not fit the 250k budget")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{CacheConfig{CapacityBytes: 16 * 1024, LineWords: 8, Assoc: 2}.String(), "16-KB, 8-word, 2-way"},
+		{CacheConfig{CapacityBytes: 4096, LineWords: 4, Assoc: FullyAssociative}.String(), "4-KB, 4-word, fully-assoc"},
+		{TLBConfig{Entries: 64, Assoc: FullyAssociative}.String(), "64-entry fully-assoc TLB"},
+		{TLBConfig{Entries: 512, Assoc: 8}.String(), "512-entry 8-way TLB"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestWriteBufferArea(t *testing.T) {
+	m := Default()
+	if m.WriteBufferArea(0) != 0 {
+		t.Error("zero entries should cost nothing")
+	}
+	prev := 0.0
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		a := m.WriteBufferArea(n)
+		if a <= prev {
+			t.Errorf("%d entries: area %.0f not above %d entries", n, a, n/2)
+		}
+		prev = a
+	}
+	// Write buffers are tiny next to caches: a deep 16-entry buffer
+	// still costs under a tenth of a 2-KB cache.
+	if m.WriteBufferArea(16) > m.CacheArea(CacheConfig{CapacityBytes: 2048, LineWords: 4, Assoc: 1})/8 {
+		t.Error("write buffer priced implausibly large")
+	}
+}

@@ -1,0 +1,168 @@
+// Package atime is an analytical access-time model for on-chip SRAM
+// structures in the style of Wada, Rajan and Przybylski, "An analytical
+// access time model for on-chip cache memories" (IEEE JSSC 27(8), 1992)
+// -- the model the paper names as the way to extend its cost/benefit
+// analysis with a timing dimension ("we did not consider the impact of
+// size and associativity on memory access times in a rigorous fashion.
+// An accurate access-time model, such as that developed by Wada et al.,
+// could be used to add another dimension to this style of cost/benefit
+// analysis", Section 6).
+//
+// The model composes the classic critical path of an SRAM access:
+//
+//	address decoder -> wordline -> bitline -> sense amplifier ->
+//	(tag comparator -> way select) -> data out
+//
+// with terms that scale the way Wada's RC analysis does: decoder delay
+// grows with the logarithm of the row count (fan-in of the decode tree),
+// wordline delay with the column count (RC of the polysilicon line),
+// bitline delay with the row count (cell drain loading), and
+// set-associative organizations add a comparator and a way-select
+// multiplexer. Fully-associative structures replace decode+compare with
+// a CAM match whose delay grows with the entry count.
+//
+// Constants are calibrated to early-1990s 0.8-micron CMOS, the
+// technology generation of the paper's Table 1 processors: an 8-KB
+// direct-mapped cache comes out near 7 ns and a 32-KB 8-way near 12 ns,
+// matching the era's published SRAM access times. As with the area
+// model, designers would substitute constants for their own process.
+package atime
+
+import (
+	"math"
+
+	"onchip/internal/area"
+)
+
+// Model holds the delay constants, all in nanoseconds.
+type Model struct {
+	// DecoderBase and DecoderPerBit form the row-decode delay:
+	// DecoderBase + DecoderPerBit * log2(rows).
+	DecoderBase   float64
+	DecoderPerBit float64
+	// WordlinePerCol is the wordline RC slope per column driven.
+	WordlinePerCol float64
+	// BitlinePerRow is the bitline discharge slope per row of loading.
+	BitlinePerRow float64
+	// Sense is the sense-amplifier resolution time.
+	Sense float64
+	// Compare is the tag comparator delay (set-associative only).
+	Compare float64
+	// WaySelectPerBit is the way-select mux delay per log2(ways).
+	WaySelectPerBit float64
+	// MatchBase and MatchPerBit form the CAM match delay of
+	// fully-associative structures: MatchBase + MatchPerBit *
+	// log2(entries).
+	MatchBase   float64
+	MatchPerBit float64
+	// BankRows is the sub-banking limit: arrays taller than this are
+	// split into banks (Wada's array partitioning), each access paying
+	// BankSelectPerBit * log2(banks) for the bank decoder/mux instead
+	// of an ever-longer bitline.
+	BankRows         int
+	BankSelectPerBit float64
+	// Output is the output-driver delay, common to every organization.
+	Output float64
+}
+
+// Default returns constants calibrated for 0.8-micron CMOS (see the
+// package comment).
+func Default() Model {
+	return Model{
+		DecoderBase:      0.8,
+		DecoderPerBit:    0.25,
+		WordlinePerCol:   0.004,
+		BitlinePerRow:    0.006,
+		Sense:            1.2,
+		Compare:          1.1,
+		WaySelectPerBit:  0.9,
+		MatchBase:        1.6,
+		MatchPerBit:      0.45,
+		BankRows:         256,
+		BankSelectPerBit: 0.3,
+		Output:           0.7,
+	}
+}
+
+// CacheAccessNS returns the access time of the cache configuration in
+// nanoseconds. It panics on invalid configurations; validate untrusted
+// input first.
+func (m Model) CacheAccessNS(c area.CacheConfig) float64 {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	lineBits := c.LineWords * area.WordBytes * 8
+	tag := c.TagBits()
+	if c.Assoc == area.FullyAssociative {
+		entries := c.Lines()
+		rows, bankDelay := m.banked(entries)
+		return m.MatchBase + m.MatchPerBit*log2f(entries) + bankDelay +
+			m.WordlinePerCol*float64(lineBits) +
+			m.BitlinePerRow*float64(rows) +
+			m.Sense + m.Output
+	}
+	rows := c.Sets()
+	cols := c.Assoc * (lineBits + tag)
+	rows, bankDelay := m.banked(rows)
+	t := m.DecoderBase + m.DecoderPerBit*log2f(rows) + bankDelay +
+		m.WordlinePerCol*float64(cols) +
+		m.BitlinePerRow*float64(rows) +
+		m.Sense + m.Output
+	if c.Assoc > 1 {
+		t += m.Compare + m.WaySelectPerBit*log2f(c.Assoc)
+	}
+	return t
+}
+
+// banked splits an over-tall array into sub-banks, returning the
+// per-bank row count and the bank-select delay.
+func (m Model) banked(rows int) (int, float64) {
+	if m.BankRows <= 0 || rows <= m.BankRows {
+		return rows, 0
+	}
+	banks := rows / m.BankRows
+	return m.BankRows, m.BankSelectPerBit * log2f(banks)
+}
+
+// TLBAccessNS returns the access time of the TLB configuration in
+// nanoseconds.
+func (m Model) TLBAccessNS(t area.TLBConfig) float64 {
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	const entryBits = 56 // tag + valid + data, as in the area model
+	if t.Assoc == area.FullyAssociative {
+		return m.MatchBase + m.MatchPerBit*log2f(t.Entries) +
+			m.WordlinePerCol*32 + // data array read-out
+			m.BitlinePerRow*float64(t.Entries) +
+			m.Sense + m.Output
+	}
+	rows := t.Sets()
+	cols := t.Assoc * entryBits
+	rows, bankDelay := m.banked(rows)
+	d := m.DecoderBase + m.DecoderPerBit*log2f(rows) + bankDelay +
+		m.WordlinePerCol*float64(cols) +
+		m.BitlinePerRow*float64(rows) +
+		m.Sense + m.Output
+	if t.Assoc > 1 {
+		d += m.Compare + m.WaySelectPerBit*log2f(t.Assoc)
+	}
+	return d
+}
+
+// FitsCycle reports whether every structure in the allocation can be
+// accessed within the given cycle time (the caches and the TLB are
+// probed in parallel on a MIPS-style pipeline, so the slowest structure
+// sets the constraint).
+func (m Model) FitsCycle(cycleNS float64, tlbCfg area.TLBConfig, icache, dcache area.CacheConfig) bool {
+	return m.CacheAccessNS(icache) <= cycleNS &&
+		m.CacheAccessNS(dcache) <= cycleNS &&
+		m.TLBAccessNS(tlbCfg) <= cycleNS
+}
+
+func log2f(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Log2(float64(n))
+}

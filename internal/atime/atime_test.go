@@ -1,0 +1,117 @@
+package atime
+
+import (
+	"testing"
+	"testing/quick"
+
+	"onchip/internal/area"
+)
+
+func cacheCfg(capBytes, line, assoc int) area.CacheConfig {
+	return area.CacheConfig{CapacityBytes: capBytes, LineWords: line, Assoc: assoc}
+}
+
+// Calibration anchors: early-90s 0.8-micron SRAM access times.
+func TestCalibrationAnchors(t *testing.T) {
+	m := Default()
+	t8dm := m.CacheAccessNS(cacheCfg(8<<10, 4, 1))
+	if t8dm < 5 || t8dm > 9 {
+		t.Errorf("8-KB DM access = %.1f ns, want ~7", t8dm)
+	}
+	t32x8 := m.CacheAccessNS(cacheCfg(32<<10, 4, 8))
+	if t32x8 < 9 || t32x8 > 15 {
+		t.Errorf("32-KB 8-way access = %.1f ns, want ~12", t32x8)
+	}
+}
+
+// The motivating trade-offs: associativity and capacity cost time.
+func TestAssociativityCostsTime(t *testing.T) {
+	m := Default()
+	prev := 0.0
+	for _, a := range []int{1, 2, 4, 8} {
+		got := m.CacheAccessNS(cacheCfg(16<<10, 4, a))
+		if got <= prev {
+			t.Errorf("%d-way access %.2f ns not slower than %d-way %.2f ns", a, got, a/2, prev)
+		}
+		prev = got
+	}
+}
+
+func TestCapacityCostsTime(t *testing.T) {
+	m := Default()
+	prev := 0.0
+	for capKB := 2; capKB <= 64; capKB *= 2 {
+		got := m.CacheAccessNS(cacheCfg(capKB<<10, 4, 1))
+		if got <= prev {
+			t.Errorf("%d-KB access %.2f ns not slower than smaller cache", capKB, got)
+		}
+		prev = got
+	}
+}
+
+// "Large fully-associative TLBs are difficult to build and can have
+// excessively long access times" (section 5.2): the FA curve must grow
+// faster than the set-associative one.
+func TestLargeFATLBsAreSlow(t *testing.T) {
+	m := Default()
+	fa512 := m.TLBAccessNS(area.TLBConfig{Entries: 512, Assoc: area.FullyAssociative})
+	sa512 := m.TLBAccessNS(area.TLBConfig{Entries: 512, Assoc: 8})
+	if fa512 <= sa512 {
+		t.Errorf("512-entry FA %.2f ns should be slower than 8-way %.2f ns", fa512, sa512)
+	}
+	fa64 := m.TLBAccessNS(area.TLBConfig{Entries: 64, Assoc: area.FullyAssociative})
+	if fa512 <= fa64 {
+		t.Error("FA access time must grow with entries")
+	}
+	// A 64-entry FA TLB (the R2000's) must be buildable at the era's
+	// cycle times.
+	if fa64 > 8 {
+		t.Errorf("64-entry FA TLB = %.1f ns, too slow for a 60-ns machine", fa64)
+	}
+}
+
+func TestFitsCycle(t *testing.T) {
+	m := Default()
+	tlbCfg := area.TLBConfig{Entries: 512, Assoc: 8}
+	small := cacheCfg(8<<10, 4, 1)
+	big := cacheCfg(32<<10, 4, 8)
+	if !m.FitsCycle(20, tlbCfg, small, small) {
+		t.Error("everything fits a 20-ns cycle")
+	}
+	if m.FitsCycle(8, tlbCfg, big, big) {
+		t.Error("a 32-KB 8-way cache cannot fit an 8-ns cycle")
+	}
+}
+
+// Property: access time is positive and finite for every valid config.
+func TestQuickPositive(t *testing.T) {
+	m := Default()
+	f := func(capExp, lineExp, assocExp uint8) bool {
+		c := cacheCfg(1<<(11+capExp%6), 1<<(lineExp%6), 1<<(assocExp%4))
+		if c.Validate() != nil {
+			return true
+		}
+		ns := m.CacheAccessNS(c)
+		return ns > 0 && ns < 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	m := Default()
+	for name, f := range map[string]func(){
+		"cache": func() { m.CacheAccessNS(cacheCfg(3000, 4, 1)) },
+		"tlb":   func() { m.TLBAccessNS(area.TLBConfig{Entries: 48, Assoc: 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,26 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"onchip/internal/area"
+)
+
+func benchCache(b *testing.B, capBytes, lineWords, assoc int) {
+	c := New(Config{CacheConfig: area.CacheConfig{CapacityBytes: capBytes, LineWords: lineWords, Assoc: assoc}})
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint64, 1<<16)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&(len(addrs)-1)], i&7 == 0)
+	}
+}
+
+func BenchmarkAccessDirectMapped(b *testing.B) { benchCache(b, 8<<10, 4, 1) }
+func Benchmark2Way(b *testing.B)               { benchCache(b, 8<<10, 4, 2) }
+func Benchmark8Way(b *testing.B)               { benchCache(b, 8<<10, 4, 8) }
+func BenchmarkFullyAssociative(b *testing.B)   { benchCache(b, 4<<10, 4, area.FullyAssociative) }

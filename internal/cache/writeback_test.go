@@ -1,0 +1,112 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"onchip/internal/area"
+)
+
+func wbCfg(capBytes, lineWords, assoc int) Config {
+	return Config{
+		CacheConfig: area.CacheConfig{CapacityBytes: capBytes, LineWords: lineWords, Assoc: assoc},
+		WriteBack:   true,
+	}
+}
+
+func TestWriteBackStoreAllocatesAndDirties(t *testing.T) {
+	c := New(wbCfg(1024, 4, 1))
+	if hit, wb := c.AccessWB(0x100, true); hit || wb {
+		t.Error("cold store should miss without writeback")
+	}
+	// The line was allocated by the store (fetch-on-write).
+	if !c.Access(0x100, false) {
+		t.Error("write-back store miss must allocate the line")
+	}
+	// Evicting the dirty line produces a writeback.
+	if _, wb := c.AccessWB(0x100+1024, false); !wb {
+		t.Error("evicting a dirty line must report a writeback")
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+}
+
+func TestWriteBackCleanEvictionSilent(t *testing.T) {
+	c := New(wbCfg(1024, 4, 1))
+	c.Access(0x100, false) // clean fill
+	if _, wb := c.AccessWB(0x100+1024, false); wb {
+		t.Error("evicting a clean line must not write back")
+	}
+}
+
+func TestWriteBackDirtyBitFollowsLRUMoves(t *testing.T) {
+	c := New(wbCfg(64, 4, 4)) // one set, 4 ways
+	c.Access(0, true)         // dirty
+	c.Access(16, false)
+	c.Access(32, false)
+	c.Access(0, false) // touch dirty line: moves to MRU, stays dirty
+	c.Access(48, false)
+	// Fill two more: evicts 16 then 32 (clean), then 0 must still be
+	// dirty when finally evicted.
+	var wbs int
+	for _, a := range []uint64{64, 80, 96, 112} {
+		if _, wb := c.AccessWB(a, false); wb {
+			wbs++
+		}
+	}
+	if wbs != 1 {
+		t.Errorf("dirty evictions = %d, want exactly 1 (block 0)", wbs)
+	}
+}
+
+func TestWriteBackHitGeneratesNoTraffic(t *testing.T) {
+	c := New(wbCfg(1024, 4, 1))
+	c.Access(0x200, true)
+	for i := 0; i < 100; i++ {
+		if hit, wb := c.AccessWB(0x200, true); !hit || wb {
+			t.Fatal("repeated write-back store hits must stay in the cache")
+		}
+	}
+}
+
+// Property: a write-back cache never reports more writebacks than fills,
+// and write-through caches never report any.
+func TestWriteBackInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	wb := New(wbCfg(512, 2, 2))
+	wt := New(Config{CacheConfig: area.CacheConfig{CapacityBytes: 512, LineWords: 2, Assoc: 2}})
+	for i := 0; i < 50000; i++ {
+		key := uint64(rng.Intn(1 << 12))
+		write := rng.Intn(3) == 0
+		wb.Access(key, write)
+		wt.Access(key, write)
+	}
+	if wb.Stats().Writebacks == 0 {
+		t.Error("write-back cache under store pressure must write back")
+	}
+	if wb.Stats().Writebacks > wb.Stats().Fills {
+		t.Error("more writebacks than fills")
+	}
+	if wt.Stats().Writebacks != 0 {
+		t.Error("write-through cache reported writebacks")
+	}
+}
+
+// A write-back cache filters store traffic: its memory writes (writebacks
+// x line words) are far fewer than the write-through store count when
+// stores have locality.
+func TestWriteBackFiltersTraffic(t *testing.T) {
+	c := New(wbCfg(4096, 4, 2))
+	stores := 0
+	for round := 0; round < 100; round++ {
+		for a := uint64(0); a < 1024; a += 4 {
+			c.Access(a, true)
+			stores++
+		}
+	}
+	traffic := c.Stats().Writebacks * 4
+	if traffic*10 > uint64(stores) {
+		t.Errorf("write-back traffic %d words vs %d stores: no filtering", traffic, stores)
+	}
+}

@@ -1,0 +1,72 @@
+package cheetah
+
+import (
+	"fmt"
+
+	"onchip/internal/area"
+)
+
+// Sweep measures miss counts for an arbitrary set of cache
+// configurations in as few passes as single-pass all-associativity
+// simulation allows: configurations sharing a (set count, line size)
+// pair share one AllAssoc simulator, so a Table 5-style design space of
+// 120 configurations typically needs ~40 simulators instead of 120.
+type Sweep struct {
+	sims     map[[2]int]*AllAssoc // key: {sets, lineWords}
+	accesses uint64
+}
+
+// NewSweep builds a sweep covering every configuration. Configurations
+// must be set-associative (the stack algorithm covers any associativity
+// up to maxAssoc); it panics on invalid or fully-associative configs
+// beyond maxAssoc.
+func NewSweep(configs []area.CacheConfig, maxAssoc int) *Sweep {
+	s := &Sweep{sims: make(map[[2]int]*AllAssoc)}
+	for _, c := range configs {
+		if err := c.Validate(); err != nil {
+			panic(err)
+		}
+		assoc := c.Assoc
+		if assoc == area.FullyAssociative {
+			assoc = c.Lines()
+		}
+		if assoc > maxAssoc {
+			panic(fmt.Sprintf("cheetah: config %v exceeds sweep associativity %d", c, maxAssoc))
+		}
+		key := [2]int{c.Sets(), c.LineWords}
+		if _, ok := s.sims[key]; !ok {
+			s.sims[key] = NewAllAssoc(c.Sets(), c.LineWords, maxAssoc)
+		}
+	}
+	return s
+}
+
+// Access processes one reference for every simulator.
+func (s *Sweep) Access(key uint64) {
+	s.accesses++
+	for _, sim := range s.sims {
+		sim.Access(key)
+	}
+}
+
+// Accesses returns the number of references processed.
+func (s *Sweep) Accesses() uint64 { return s.accesses }
+
+// Misses returns the exact LRU miss count for one of the swept
+// configurations. It panics if the configuration was not covered by
+// NewSweep.
+func (s *Sweep) Misses(c area.CacheConfig) uint64 {
+	assoc := c.Assoc
+	if assoc == area.FullyAssociative {
+		assoc = c.Lines()
+	}
+	sim, ok := s.sims[[2]int{c.Sets(), c.LineWords}]
+	if !ok {
+		panic(fmt.Sprintf("cheetah: config %v was not swept", c))
+	}
+	return sim.Misses(assoc)
+}
+
+// Simulators reports how many distinct stack simulators the sweep runs
+// (the pass-sharing the package exists for).
+func (s *Sweep) Simulators() int { return len(s.sims) }

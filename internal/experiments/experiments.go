@@ -1,0 +1,83 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: each experiment is a named harness that runs the required
+// models and simulations and renders the same rows or series the paper
+// reports. See DESIGN.md section 4 for the experiment index and
+// EXPERIMENTS.md for paper-versus-measured results.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Options controls experiment scale.
+type Options struct {
+	// Refs is the number of references to simulate per workload/OS
+	// run. Zero selects the experiment's default (a few million).
+	Refs int
+}
+
+func (o Options) refs(def int) int {
+	if o.Refs > 0 {
+		return o.Refs
+	}
+	return def
+}
+
+// Result is a rendered experiment.
+type Result struct {
+	ID    string
+	Title string
+	// Text is the rendered tables/charts.
+	Text string
+	// Notes record observations, including paper-vs-measured remarks.
+	Notes []string
+}
+
+// runner produces a result for the given options.
+type runner struct {
+	title string
+	run   func(Options) (Result, error)
+}
+
+var registry = map[string]runner{}
+
+func register(id, title string, run func(Options) (Result, error)) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = runner{title: title, run: run}
+}
+
+// IDs returns the registered experiment identifiers, sorted.
+func IDs() []string {
+	var ids []string
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Title returns the experiment's one-line description.
+func Title(id string) string {
+	if r, ok := registry[id]; ok {
+		return r.title
+	}
+	return ""
+}
+
+// Run executes the experiment with the given options.
+func Run(id string, opt Options) (Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return Result{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	res, err := r.run(opt)
+	if err != nil {
+		return Result{}, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	res.ID = id
+	res.Title = r.title
+	return res, nil
+}

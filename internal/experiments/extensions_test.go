@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtOOLShiftsTowardTLB(t *testing.T) {
+	res, err := Run("ext-ool", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "remap all") || !strings.Contains(res.Text, "copy all") {
+		t.Errorf("ext-ool missing threshold settings:\n%s", res.Text)
+	}
+}
+
+func TestExtServersRaisesPressure(t *testing.T) {
+	res, err := Run("ext-servers", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "monolithic") || !strings.Contains(res.Text, "decomposed") {
+		t.Error("ext-servers missing the comparison rows")
+	}
+}
+
+func TestExtATime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: full design-space sweep")
+	}
+	res, err := Run("ext-atime", Options{Refs: 150_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "none") || !strings.Contains(res.Text, "10") {
+		t.Errorf("ext-atime missing cycle rows:\n%s", res.Text)
+	}
+}
+
+func TestExtWPolicy(t *testing.T) {
+	res, err := Run("ext-wpolicy", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "write-through") || !strings.Contains(res.Text, "write-back") {
+		t.Error("ext-wpolicy missing policy rows")
+	}
+}
+
+func TestFig9D(t *testing.T) {
+	res, err := Run("fig9d", Options{Refs: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "D-cache load miss ratio") {
+		t.Error("fig9d missing chart")
+	}
+}
+
+func TestExtMulti(t *testing.T) {
+	res, err := Run("ext-multi", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "alone") || !strings.Contains(res.Text, "time-sliced") {
+		t.Error("ext-multi missing comparison rows")
+	}
+}
+
+func TestExtUnified(t *testing.T) {
+	res, err := Run("ext-unified", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "split 8+8") || !strings.Contains(res.Text, "unified 16") {
+		t.Error("ext-unified missing organization rows")
+	}
+}
+
+func TestExtL2(t *testing.T) {
+	res, err := Run("ext-l2", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "no L2") || !strings.Contains(res.Text, "+ L2") {
+		t.Error("ext-l2 missing organization rows")
+	}
+}
+
+func TestExtPrefetch(t *testing.T) {
+	res, err := Run("ext-prefetch", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "next-line prefetch") {
+		t.Error("ext-prefetch missing prefetch row")
+	}
+}
+
+func TestExtWBuf(t *testing.T) {
+	res, err := Run("ext-wbuf", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "16") {
+		t.Error("ext-wbuf missing depth sweep")
+	}
+}
+
+func TestExtMultiAPI(t *testing.T) {
+	res, err := Run("ext-multiapi", small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "one shared server") || !strings.Contains(res.Text, "one server per app") {
+		t.Error("ext-multiapi missing comparison rows")
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+// The paper's second proposed extension (Section 6): "model the die-area
+// cost and performance benefits of other architectural structures, such
+// as write buffers, pre-fetching units, streaming buffers" and, from
+// Section 5.4, second-level caches. Three experiments take it up.
+
+import (
+	"fmt"
+
+	"onchip/internal/area"
+	"onchip/internal/cache"
+	"onchip/internal/machine"
+	"onchip/internal/monitor"
+	"onchip/internal/osmodel"
+	"onchip/internal/report"
+	"onchip/internal/wbuf"
+	"onchip/internal/workload"
+)
+
+func init() {
+	register("ext-l2", "Extension: small primary caches + off-chip L2 vs large primaries (section 5.4 remark)", extL2)
+	register("ext-prefetch", "Extension: next-line I-prefetch vs longer lines (section 6 structures)", extPrefetch)
+	register("ext-wbuf", "Extension: write-buffer depth, priced with the area model (section 6 structures)", extWBuf)
+}
+
+// extL2 compares spending the budget on large primaries against small
+// fast primaries backed by an off-chip second-level cache.
+func extL2(opt Options) (Result, error) {
+	refs := opt.refs(defaultStallRefs)
+	t := report.NewTable("Primary caches vs primary + off-chip 256-KB L2 (suite average, Mach)",
+		"Organization", "CPI", "I-cache CPI", "D-cache CPI", "On-chip rbe")
+	am := area.Default()
+
+	type org struct {
+		name   string
+		i, d   area.CacheConfig
+		withL2 bool
+	}
+	big := org{"32+8 KB primaries, no L2",
+		area.CacheConfig{CapacityBytes: 32 << 10, LineWords: 8, Assoc: 2},
+		area.CacheConfig{CapacityBytes: 8 << 10, LineWords: 8, Assoc: 2}, false}
+	small := org{"8+8 KB primaries + L2",
+		area.CacheConfig{CapacityBytes: 8 << 10, LineWords: 8, Assoc: 2},
+		area.CacheConfig{CapacityBytes: 8 << 10, LineWords: 8, Assoc: 2}, true}
+
+	for _, o := range []org{big, small} {
+		var avg machine.Breakdown
+		for _, spec := range workload.All() {
+			cfg := machine.DECstation3100()
+			cfg.ICache = cache.Config{CacheConfig: o.i}
+			cfg.DCache = cache.Config{CacheConfig: o.d}
+			cfg.OtherCPI = spec.OtherCPI
+			cfg.IsServerASID = osmodel.IsServerASID
+			if o.withL2 {
+				cfg.L2 = &cache.Config{CacheConfig: area.CacheConfig{
+					CapacityBytes: 256 << 10, LineWords: 8, Assoc: 4}, WriteAllocate: true}
+				cfg.L2HitCycles = 5
+			}
+			m := machine.New(cfg)
+			osmodel.NewSystem(osmodel.Mach, spec).Generate(refs, m)
+			b := m.Breakdown()
+			avg.CPI += b.CPI
+			for c := range b.Comp {
+				avg.Comp[c] += b.Comp[c]
+			}
+		}
+		n := float64(len(workload.All()))
+		onchip := am.CacheArea(o.i) + am.CacheArea(o.d)
+		t.Row(o.name, fmt.Sprintf("%.2f", avg.CPI/n),
+			fmt.Sprintf("%.3f", avg.Comp[machine.CompICache]/n),
+			fmt.Sprintf("%.3f", avg.Comp[machine.CompDCache]/n),
+			fmt.Sprintf("%.0f", onchip))
+	}
+	return Result{
+		Text: t.String(),
+		Notes: []string{
+			"section 5.4: high-end parts will put extra memory in an L2 because primary access times",
+			"cannot grow; the L2 softens every primary miss (5 cycles vs 13 to memory), letting small",
+			"fast primaries compete with large ones at a fraction of the on-chip area",
+		},
+	}, nil
+}
+
+// extPrefetch pits next-line prefetch against longer lines for the Mach
+// I-stream.
+func extPrefetch(opt Options) (Result, error) {
+	refs := opt.refs(defaultStallRefs)
+	t := report.NewTable("Next-line I-prefetch vs longer lines, 8-KB direct-mapped I-cache (suite average, Mach)",
+		"Organization", "I-cache CPI", "I-cache rbe")
+	am := area.Default()
+	type org struct {
+		name     string
+		line     int
+		prefetch bool
+	}
+	for _, o := range []org{
+		{"4-word lines", 4, false},
+		{"4-word lines + next-line prefetch", 4, true},
+		{"8-word lines", 8, false},
+		{"16-word lines", 16, false},
+	} {
+		icfg := area.CacheConfig{CapacityBytes: 8 << 10, LineWords: o.line, Assoc: 1}
+		var icpi float64
+		for _, spec := range workload.All() {
+			cfg := machine.DECstation3100()
+			cfg.ICache = cache.Config{CacheConfig: icfg}
+			cfg.IPrefetchNextLine = o.prefetch
+			cfg.OtherCPI = spec.OtherCPI
+			cfg.IsServerASID = osmodel.IsServerASID
+			m := machine.New(cfg)
+			osmodel.NewSystem(osmodel.Mach, spec).Generate(refs, m)
+			icpi += m.Breakdown().Comp[machine.CompICache]
+		}
+		t.Row(o.name, fmt.Sprintf("%.3f", icpi/float64(len(workload.All()))),
+			fmt.Sprintf("%.0f", am.CacheArea(icfg)))
+	}
+	return Result{
+		Text: t.String(),
+		Notes: []string{
+			"Mach's long one-touch service paths are exactly what sequential prefetch exploits:",
+			"prefetching a 4-word-line cache approaches the miss behaviour of doubled lines while",
+			"keeping the shorter line's refill latency and the smaller tag-array cost",
+		},
+	}, nil
+}
+
+// extWBuf sweeps write-buffer depth and prices each point with the area
+// model.
+func extWBuf(opt Options) (Result, error) {
+	refs := opt.refs(defaultStallRefs)
+	am := area.Default()
+	t := report.NewTable("Write-buffer depth: stall cycles vs area (IOzone + video_play under Mach)",
+		"Entries", "WB CPI", "Area (rbe)", "CPI saved per 1k rbe vs previous")
+	prevCPI, prevArea := 0.0, 0.0
+	for i, entries := range []int{1, 2, 4, 8, 16} {
+		var wbCPI float64
+		for _, spec := range []osmodel.WorkloadSpec{workload.IOzone(), workload.VideoPlay()} {
+			cfg := machine.DECstation3100()
+			cfg.WB = wbuf.Config{Entries: entries, WriteCycles: 5}
+			r := monitor.Measure(osmodel.Mach, spec, refs, cfg)
+			wbCPI += r.Breakdown.Comp[machine.CompWB]
+		}
+		wbCPI /= 2
+		a := am.WriteBufferArea(entries)
+		marginal := "-"
+		if i > 0 && a > prevArea {
+			marginal = fmt.Sprintf("%.3f", (prevCPI-wbCPI)/((a-prevArea)/1000))
+		}
+		t.Row(entries, fmt.Sprintf("%.3f", wbCPI), fmt.Sprintf("%.0f", a), marginal)
+		prevCPI, prevArea = wbCPI, a
+	}
+	return Result{
+		Text: t.String(),
+		Notes: []string{
+			"write buffers are tiny next to caches (hundreds of rbe per entry), so buying depth",
+			"until the stall curve flattens is nearly free -- the section 6 structure-costing",
+			"exercise confirms the era's choice of 4-8 entries",
+		},
+	}, nil
+}

@@ -1,0 +1,92 @@
+package machine_test
+
+// Integration tests binding the full stack: OS model -> binary trace
+// file -> machine, and live-stream versus recorded-trace equivalence.
+
+import (
+	"bytes"
+	"testing"
+
+	"onchip/internal/machine"
+	"onchip/internal/osmodel"
+	"onchip/internal/trace"
+	"onchip/internal/workload"
+)
+
+// A recorded trace driven through a machine must produce exactly the
+// same breakdown as the live stream that produced it: the binary format
+// is lossless for everything the simulators consume.
+func TestRecordedTraceEquivalence(t *testing.T) {
+	spec := workload.MPEGPlay()
+	const refs = 150_000
+
+	// Live run.
+	live := machine.New(machine.DECstation3100())
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	osmodel.NewSystem(osmodel.Mach, spec).Generate(refs, trace.Tee{live, w})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay run.
+	replay := machine.New(machine.DECstation3100())
+	r, err := trace.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := r.Drain(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("empty recorded trace")
+	}
+
+	lb, rb := live.Breakdown(), replay.Breakdown()
+	if lb.Instrs != rb.Instrs {
+		t.Fatalf("instrs: live %d, replay %d", lb.Instrs, rb.Instrs)
+	}
+	for c := machine.CompTLB; c <= machine.CompWB; c++ {
+		if lb.Comp[c] != rb.Comp[c] {
+			t.Errorf("%v: live %.6f, replay %.6f", c, lb.Comp[c], rb.Comp[c])
+		}
+	}
+}
+
+// Two machines fed the same stream through a Tee must agree exactly
+// (simulators are deterministic and share no state).
+func TestMachinesAreIndependent(t *testing.T) {
+	a := machine.New(machine.DECstation3100())
+	b := machine.New(machine.DECstation3100())
+	osmodel.NewSystem(osmodel.Ultrix, workload.IOzone()).Generate(80_000, trace.Tee{a, b})
+	if a.Breakdown() != b.Breakdown() {
+		t.Errorf("teed machines diverged:\n%v\n%v", a.Breakdown(), b.Breakdown())
+	}
+}
+
+// The whole suite must run end-to-end on the DECstation configuration
+// without pathologies: CPI in a sane band, every component non-negative.
+func TestSuiteEndToEnd(t *testing.T) {
+	for _, spec := range workload.All() {
+		for _, v := range []osmodel.Variant{osmodel.Ultrix, osmodel.Mach} {
+			cfg := machine.DECstation3100()
+			cfg.OtherCPI = spec.OtherCPI
+			cfg.IsServerASID = osmodel.IsServerASID
+			m := machine.New(cfg)
+			osmodel.NewSystem(v, spec).Generate(120_000, m)
+			b := m.Breakdown()
+			if b.CPI < 1.0 || b.CPI > 6.0 {
+				t.Errorf("%s/%v: CPI %.2f out of band", spec.Name, v, b.CPI)
+			}
+			for c, v2 := range b.Comp {
+				if v2 < 0 {
+					t.Errorf("%s/%v: component %d negative", spec.Name, v, c)
+				}
+			}
+		}
+	}
+}

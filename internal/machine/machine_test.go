@@ -1,0 +1,250 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"onchip/internal/area"
+	"onchip/internal/cache"
+	"onchip/internal/tlb"
+	"onchip/internal/trace"
+	"onchip/internal/vm"
+	"onchip/internal/wbuf"
+)
+
+func smallConfig() Config {
+	return Config{
+		ICache: cache.Config{CacheConfig: area.CacheConfig{CapacityBytes: 4 << 10, LineWords: 4, Assoc: 1}},
+		DCache: cache.Config{CacheConfig: area.CacheConfig{CapacityBytes: 4 << 10, LineWords: 4, Assoc: 1}},
+		TLB:    tlb.R2000(),
+		WB:     wbuf.Config{Entries: 4, WriteCycles: 5},
+	}
+}
+
+func TestBaseCPIIsOne(t *testing.T) {
+	m := New(smallConfig())
+	// A tight loop in unmapped kernel space: after warmup, no stalls.
+	for i := 0; i < 100; i++ {
+		m.Ref(trace.Ref{Addr: 0x80000000, Kind: trace.IFetch, Mode: trace.Kernel})
+	}
+	b := m.Breakdown()
+	if b.Instrs != 100 {
+		t.Fatalf("instrs = %d", b.Instrs)
+	}
+	// One compulsory I-miss only.
+	wantCPI := 1 + float64(cache.MissPenalty(4))/100
+	if math.Abs(b.CPI-wantCPI) > 1e-9 {
+		t.Errorf("CPI = %f, want %f", b.CPI, wantCPI)
+	}
+}
+
+func TestICacheStallAccounting(t *testing.T) {
+	m := New(smallConfig())
+	// Every fetch to a new line in kseg0: always misses.
+	for i := 0; i < 64; i++ {
+		m.Ref(trace.Ref{Addr: 0x80000000 + uint32(i*16), Kind: trace.IFetch, Mode: trace.Kernel})
+	}
+	b := m.Breakdown()
+	if got := b.Comp[CompICache]; got != float64(cache.MissPenalty(4)) {
+		t.Errorf("I-cache CPI = %f, want %d", got, cache.MissPenalty(4))
+	}
+	if b.Pct(CompICache) < 95 {
+		t.Errorf("I-cache share = %.0f%%, want ~100%%", b.Pct(CompICache))
+	}
+}
+
+func TestDCacheLoadStall(t *testing.T) {
+	m := New(smallConfig())
+	m.Ref(trace.Ref{Addr: 0x80000000, Kind: trace.IFetch, Mode: trace.Kernel})
+	m.Ref(trace.Ref{Addr: 0x80005000, Kind: trace.Load, Mode: trace.Kernel})
+	b := m.Breakdown()
+	if b.Comp[CompDCache] != float64(cache.MissPenalty(4)) {
+		t.Errorf("D-cache CPI = %f", b.Comp[CompDCache])
+	}
+}
+
+func TestTLBStallForMappedRefs(t *testing.T) {
+	m := New(smallConfig())
+	m.Ref(trace.Ref{Addr: 0x80000000, Kind: trace.IFetch, Mode: trace.Kernel})
+	before := m.Breakdown().Comp[CompTLB]
+	if before != 0 {
+		t.Fatal("unmapped fetch must not stall the TLB")
+	}
+	// First touch of a user page: uTLB refill + nested PTE miss.
+	m.Ref(trace.Ref{Addr: vm.UserTextBase, ASID: 1, Kind: trace.Load, Mode: trace.User})
+	costs := m.TLB().Costs()
+	want := float64(costs.UserMissCycles + costs.KernelMissCycles)
+	if got := m.Breakdown().Comp[CompTLB] * float64(m.Instructions()); math.Abs(got-want) > 1e-9 {
+		t.Errorf("TLB stall cycles = %f, want %f", got, want)
+	}
+}
+
+func TestWriteBufferStall(t *testing.T) {
+	m := New(smallConfig())
+	m.Ref(trace.Ref{Addr: 0x80000000, Kind: trace.IFetch, Mode: trace.Kernel})
+	// Back-to-back stores at the same cycle eventually fill the buffer.
+	for i := 0; i < 10; i++ {
+		m.Ref(trace.Ref{Addr: 0x80008000 + uint32(i*4), Kind: trace.Store, Mode: trace.Kernel})
+	}
+	if m.Breakdown().Comp[CompWB] == 0 {
+		t.Error("store burst produced no write-buffer stalls")
+	}
+}
+
+func TestUncachedKseg1(t *testing.T) {
+	m := New(smallConfig())
+	m.Ref(trace.Ref{Addr: 0x80000000, Kind: trace.IFetch, Mode: trace.Kernel})
+	m.Ref(trace.Ref{Addr: vm.Kseg1Base, Kind: trace.Load, Mode: trace.Kernel})
+	m.Ref(trace.Ref{Addr: vm.Kseg1Base, Kind: trace.Load, Mode: trace.Kernel})
+	// Both loads pay the uncached penalty; neither touches the D-cache.
+	if got := m.Breakdown().Comp[CompDCache]; got != 12 {
+		t.Errorf("uncached load cycles = %f, want 12", got)
+	}
+	if m.DCache().Stats().Accesses() != 0 {
+		t.Error("kseg1 loads must bypass the D-cache")
+	}
+}
+
+func TestOtherCPICharging(t *testing.T) {
+	cfg := smallConfig()
+	cfg.OtherCPI = 0.5
+	cfg.IsServerASID = func(asid uint8) bool { return asid == 2 }
+	m := New(cfg)
+	// App user instruction: charged.
+	m.Ref(trace.Ref{Addr: 0x80000000, ASID: 1, Kind: trace.IFetch, Mode: trace.User})
+	// Server user instruction: not charged.
+	m.Ref(trace.Ref{Addr: 0x80000004, ASID: 2, Kind: trace.IFetch, Mode: trace.User})
+	// Kernel instruction: not charged.
+	m.Ref(trace.Ref{Addr: 0x80000008, ASID: 1, Kind: trace.IFetch, Mode: trace.Kernel})
+	b := m.Breakdown()
+	if got := b.Comp[CompOther] * 3; math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("other stall cycles = %f, want 0.5", got)
+	}
+}
+
+func TestBreakdownEmpty(t *testing.T) {
+	m := New(smallConfig())
+	b := m.Breakdown()
+	if b.CPI != 0 || b.Instrs != 0 {
+		t.Errorf("empty breakdown = %+v", b)
+	}
+	if b.Pct(CompTLB) != 0 {
+		t.Error("Pct of empty breakdown should be 0")
+	}
+}
+
+func TestBreakdownSecondsAndString(t *testing.T) {
+	b := Breakdown{Instrs: uint64(ClockHz), CPI: 2}
+	if got := b.Seconds(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Seconds = %f, want 2", got)
+	}
+	if b.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestDECstation3100Config(t *testing.T) {
+	cfg := DECstation3100()
+	if cfg.ICache.CapacityBytes != 64<<10 || cfg.ICache.LineWords != 1 {
+		t.Errorf("I-cache = %+v", cfg.ICache)
+	}
+	if !cfg.DCache.WriteAllocate {
+		t.Error("DECstation D-cache must write-allocate (free with 1-word lines)")
+	}
+	if cfg.TLB.Entries != 64 {
+		t.Errorf("TLB = %+v", cfg.TLB)
+	}
+	if cfg.Costs() != tlb.DefaultCosts() {
+		t.Error("zero TLBCosts must default")
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	names := map[Component]string{CompTLB: "TLB", CompICache: "I-cache", CompDCache: "D-cache", CompWB: "Write Buffer", CompOther: "Other"}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func TestUnifiedCacheSharesArray(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Unified = true
+	m := New(cfg)
+	// A fetched line must be visible to loads (same array).
+	m.Ref(trace.Ref{Addr: 0x80002000, Kind: trace.IFetch, Mode: trace.Kernel})
+	m.Ref(trace.Ref{Addr: 0x80002004, Kind: trace.Load, Mode: trace.Kernel})
+	b := m.Breakdown()
+	if b.Comp[CompDCache] != 0 {
+		t.Errorf("load after fetch of same line missed in unified cache: D CPI %f", b.Comp[CompDCache])
+	}
+	if m.ICache() != m.DCache() {
+		t.Error("unified machine must expose one cache object")
+	}
+	// Data fills can displace instructions: a conflicting load evicts
+	// the fetched line in the 4-KB direct-mapped unified cache.
+	m.Ref(trace.Ref{Addr: 0x80002000 + 4096, Kind: trace.Load, Mode: trace.Kernel})
+	before := m.Breakdown().Comp[CompICache]
+	m.Ref(trace.Ref{Addr: 0x80002000, Kind: trace.IFetch, Mode: trace.Kernel})
+	if m.Breakdown().Comp[CompICache] <= before/2 {
+		t.Error("refetch after conflicting data fill should miss")
+	}
+}
+
+func TestL2SoftensMisses(t *testing.T) {
+	mkCfg := func(withL2 bool) Config {
+		cfg := smallConfig()
+		if withL2 {
+			cfg.L2 = &cache.Config{CacheConfig: area.CacheConfig{CapacityBytes: 64 << 10, LineWords: 4, Assoc: 2}, WriteAllocate: true}
+			cfg.L2HitCycles = 3
+		}
+		return cfg
+	}
+	// Walk 16 KB of code twice. The second pass misses the 4-KB L1
+	// but hits the 64-KB L2; measure that pass alone (the cold pass is
+	// actually *more* expensive with an L2, since misses probe both
+	// levels).
+	pass := func(m *Machine) float64 {
+		start := m.Breakdown()
+		startStall := start.Comp[CompICache] * float64(start.Instrs)
+		for a := uint32(0); a < 16<<10; a += 16 {
+			m.Ref(trace.Ref{Addr: 0x80000000 + a, Kind: trace.IFetch, Mode: trace.Kernel})
+		}
+		end := m.Breakdown()
+		return end.Comp[CompICache]*float64(end.Instrs) - startStall
+	}
+	noL2 := New(mkCfg(false))
+	withL2 := New(mkCfg(true))
+	pass(noL2)
+	pass(withL2)
+	warmNo, warmWith := pass(noL2), pass(withL2)
+	if warmWith >= warmNo {
+		t.Errorf("L2 did not soften warm-pass misses: %.0f vs %.0f stall cycles", warmWith, warmNo)
+	}
+	if withL2.L2Cache() == nil || withL2.L2Cache().Stats().Accesses() == 0 {
+		t.Error("L2 never probed")
+	}
+	if noL2.L2Cache() != nil {
+		t.Error("machine without L2 exposes one")
+	}
+}
+
+func TestNextLinePrefetch(t *testing.T) {
+	cfg := smallConfig()
+	cfg.IPrefetchNextLine = true
+	m := New(cfg)
+	// Sequential one-touch walk: with next-line prefetch, roughly every
+	// other line's demand fetch hits.
+	for a := uint32(0); a < 32<<10; a += 4 {
+		m.Ref(trace.Ref{Addr: 0x80000000 + a, Kind: trace.IFetch, Mode: trace.Kernel})
+	}
+	base := New(smallConfig())
+	for a := uint32(0); a < 32<<10; a += 4 {
+		base.Ref(trace.Ref{Addr: 0x80000000 + a, Kind: trace.IFetch, Mode: trace.Kernel})
+	}
+	if m.Breakdown().Comp[CompICache] >= base.Breakdown().Comp[CompICache]*0.7 {
+		t.Errorf("prefetch CPI %.3f not well below base %.3f",
+			m.Breakdown().Comp[CompICache], base.Breakdown().Comp[CompICache])
+	}
+}

@@ -1,0 +1,82 @@
+// Package monitor is the reproduction's analogue of Monster, the
+// DAS 9200 logic-analyzer setup the paper attached to a DECstation 3100:
+// it runs a workload on a simulated machine and attributes every stall
+// cycle to its cause (TLB, I-cache, D-cache, write buffer, other),
+// producing the rows of the paper's Tables 3 and 4.
+//
+// Monster's defining property is that it observes the machine
+// non-invasively at the CPU pins; here the observed "pins" are the
+// trace.Ref stream between the OS model and the machine timing model.
+package monitor
+
+import (
+	"onchip/internal/machine"
+	"onchip/internal/osmodel"
+	"onchip/internal/trace"
+)
+
+// Row is one measurement: a workload under one measurement condition.
+type Row struct {
+	Workload  string
+	OS        string
+	Breakdown machine.Breakdown
+	Gen       osmodel.GenStats
+}
+
+// Measure runs the workload under the OS variant for approximately refs
+// references on a machine built from cfg, and returns the stall
+// breakdown. The config's OtherCPI and server-ASID predicate are filled
+// in from the spec and OS model.
+func Measure(v osmodel.Variant, spec osmodel.WorkloadSpec, refs int, cfg machine.Config) Row {
+	cfg.OtherCPI = spec.OtherCPI
+	cfg.IsServerASID = osmodel.IsServerASID
+	m := machine.New(cfg)
+	sys := osmodel.NewSystem(v, spec)
+	gen := sys.Run(refs, m)
+	return Row{Workload: spec.Name, OS: v.String(), Breakdown: m.Breakdown(), Gen: gen}
+}
+
+// MeasureUserOnly reproduces the paper's "None" measurement condition
+// (Table 3, row 1): a pixie-style user-only simulation that sees just
+// the application task's user-mode references, missing all
+// operating-system activity and all interference from other address
+// spaces. The workload still runs under Ultrix; the monitor simply
+// cannot see beyond the task, exactly like a pixie-generated trace.
+func MeasureUserOnly(spec osmodel.WorkloadSpec, refs int, cfg machine.Config) Row {
+	cfg.OtherCPI = spec.OtherCPI
+	m := machine.New(cfg)
+	sys := osmodel.NewSystem(osmodel.Ultrix, spec)
+	filter := trace.Filter{
+		Keep: func(r trace.Ref) bool {
+			return r.Mode == trace.User && !osmodel.IsServerASID(r.ASID)
+		},
+		Next: m,
+	}
+	gen := sys.Run(refs, filter)
+	return Row{Workload: spec.Name, OS: "None", Breakdown: m.Breakdown(), Gen: gen}
+}
+
+// MeasureSuite runs every workload under the variant and returns the
+// rows plus an average row (the paper's Table 4 "Average").
+func MeasureSuite(v osmodel.Variant, specs []osmodel.WorkloadSpec, refsEach int, cfg machine.Config) []Row {
+	rows := make([]Row, 0, len(specs)+1)
+	var avg machine.Breakdown
+	for _, spec := range specs {
+		r := Measure(v, spec, refsEach, cfg)
+		rows = append(rows, r)
+		avg.CPI += r.Breakdown.CPI
+		avg.Instrs += r.Breakdown.Instrs
+		for c := range r.Breakdown.Comp {
+			avg.Comp[c] += r.Breakdown.Comp[c]
+		}
+	}
+	n := float64(len(specs))
+	if n > 0 {
+		avg.CPI /= n
+		for c := range avg.Comp {
+			avg.Comp[c] /= n
+		}
+		rows = append(rows, Row{Workload: "Average", OS: v.String(), Breakdown: avg})
+	}
+	return rows
+}

@@ -1,0 +1,20 @@
+package osmodel
+
+import (
+	"testing"
+
+	"onchip/internal/trace"
+)
+
+// BenchmarkGenerate measures raw reference-stream generation throughput;
+// the paper quotes kernel-based simulation at >6M refs/sec versus 20-150k
+// for trace-driven tools, so generation must not be the bottleneck.
+func BenchmarkGenerate(b *testing.B) {
+	for _, v := range []Variant{Ultrix, Mach} {
+		b.Run(v.String(), func(b *testing.B) {
+			sys := NewSystem(v, testSpec())
+			b.ResetTimer()
+			sys.Generate(b.N, trace.Discard)
+		})
+	}
+}

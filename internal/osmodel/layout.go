@@ -1,0 +1,193 @@
+package osmodel
+
+import "onchip/internal/vm"
+
+// Region is a contiguous range of virtual memory.
+type Region struct {
+	Base uint32
+	Size uint32
+}
+
+// End returns the first address past the region.
+func (r Region) End() uint32 { return r.Base + r.Size }
+
+// kernelLayout places the kernel's code and data. Both Ultrix and Mach
+// run their kernels in kseg0 (unmapped, cached), which is why Ultrix --
+// whose services all live in the kernel -- shows almost no TLB stalls in
+// the paper's Table 3. Dynamically-allocated kernel data lives in kseg2
+// (mapped): page tables for both systems, plus IPC ports, message
+// kmsg buffers and VM objects for Mach, whose kernel allocates far more
+// mapped memory. kseg1 holds the memory-mapped I/O and framebuffer
+// region (uncached, no TLB, no cache).
+type kernelLayout struct {
+	// kseg0 code regions.
+	trapEntry Region // exception vector + save/restore
+	dispatch  Region // syscall demux tables and stubs
+	fsCode    Region // 4.3BSD file-system service code
+	sockCode  Region // socket / network service code
+	vmCode    Region // VM fault handling, pager interface
+	procCode  Region // fork/exec/exit/wait
+	ipcCode   Region // Mach message send/receive paths
+	schedCode Region // context switch, run queue
+	clockCode Region // hardclock interrupt handler
+
+	// kseg0 data.
+	kstack   Region // kernel stacks
+	kdata    Region // statically allocated kernel data
+	bufCache Region // Ultrix block buffer cache (in-kernel)
+	mbufs    Region // network buffers
+
+	// kseg2 (mapped) data.
+	procTable Region // process/thread structures
+	portTable Region // Mach port name space
+	kmsgBuf   Region // Mach in-transit message bodies
+	vmObjects Region // Mach VM objects / memory objects
+
+	// kseg1: framebuffer (uncached, unmapped).
+	framebuf Region
+}
+
+func newKernelLayout() *kernelLayout {
+	// Code sizes are denominated in bytes (4 bytes per instruction) and
+	// chosen to match the scale of a 4.3BSD-derived kernel: individual
+	// services are a few KB of hot path each.
+	const kb = 1024
+	code := uint32(vm.Kseg0Base)
+	alloc := func(size uint32) Region {
+		r := Region{Base: code, Size: size}
+		code += size
+		return r
+	}
+	l := &kernelLayout{
+		trapEntry: alloc(2 * kb),
+		dispatch:  alloc(4 * kb),
+		fsCode:    alloc(48 * kb),
+		sockCode:  alloc(32 * kb),
+		vmCode:    alloc(32 * kb),
+		procCode:  alloc(24 * kb),
+		ipcCode:   alloc(24 * kb),
+		schedCode: alloc(8 * kb),
+		clockCode: alloc(2 * kb),
+	}
+	data := uint32(vm.Kseg0Base + 8<<20) // kernel data well above code
+	dalloc := func(size uint32) Region {
+		r := Region{Base: data, Size: size}
+		data += size
+		return r
+	}
+	l.kstack = dalloc(64 * kb)
+	l.kdata = dalloc(512 * kb)
+	// The buffer cache streams file pages; a large VA window models
+	// page-cache turnover (evicted pages re-enter as fresh pages), so
+	// the first-touch rate is stationary over long runs.
+	l.bufCache = dalloc(64 << 20)
+	l.mbufs = dalloc(64 * kb) // mbuf pool recycles quickly
+
+	// Mapped kernel data in kseg2, above the linear page tables.
+	mapped := uint32(vm.PageTableBase + 0x10000000)
+	malloc := func(size uint32) Region {
+		r := Region{Base: mapped, Size: size}
+		mapped += size
+		return r
+	}
+	// These pools are recycled LIFO in the real kernels, so their hot
+	// footprints are small even under load.
+	l.procTable = malloc(32 * kb)
+	l.portTable = malloc(16 * kb)
+	l.kmsgBuf = malloc(8 * kb)
+	l.vmObjects = malloc(32 * kb)
+
+	l.framebuf = Region{Base: vm.Kseg1Base + 1<<20, Size: 2 << 20}
+	return l
+}
+
+// Process models one user-level address space: an application, the Mach
+// BSD server, the X display server, or the Mach default pager.
+type Process struct {
+	Name string
+	ASID uint8
+
+	Text  Region // program text
+	Data  Region // heap / working set
+	Buf   Region // I/O staging buffers (read targets, frame buffers)
+	Stack uint32 // initial stack pointer
+
+	// Emul is the Mach emulation library mapping (zero for others).
+	Emul Region
+
+	// hot/cold code split: HotLoop is the innermost compute kernel,
+	// walked repeatedly; the rest of Text is colder code.
+	HotLoop Region
+
+	// bufCursor implements streaming through Buf page by page.
+	bufCursor uint32
+}
+
+// newProcess lays out a process with the given footprints.
+func newProcess(name string, asid uint8, textBytes, hotBytes, dataBytes, bufBytes uint32) *Process {
+	p := &Process{
+		Name:  name,
+		ASID:  asid,
+		Text:  Region{Base: vm.UserTextBase, Size: textBytes},
+		Data:  Region{Base: vm.UserDataBase, Size: dataBytes},
+		Buf:   Region{Base: vm.UserDataBase + 0x04000000, Size: bufBytes},
+		Stack: vm.UserStackTop,
+	}
+	if hotBytes > textBytes {
+		hotBytes = textBytes
+	}
+	p.HotLoop = Region{Base: p.Text.Base, Size: hotBytes}
+	return p
+}
+
+// NextBufPage advances the streaming buffer cursor by n bytes and
+// returns the starting address, wrapping at the end of the region. It
+// models sequential I/O: each call touches fresh pages until the region
+// recycles, the access pattern behind both IOzone's file streaming and
+// video_play's uncompressed frames.
+func (p *Process) NextBufPage(n uint32) uint32 {
+	if p.Buf.Size == 0 {
+		return p.Buf.Base
+	}
+	if p.bufCursor+n > p.Buf.Size {
+		p.bufCursor = 0
+	}
+	addr := p.Buf.Base + p.bufCursor
+	p.bufCursor += n
+	return addr
+}
+
+// PeekBufPage returns the address NextBufPage would return for n bytes,
+// without advancing the cursor. Producers write a payload here and the
+// consuming service call then claims the same bytes with NextBufPage.
+func (p *Process) PeekBufPage(n uint32) uint32 {
+	if p.Buf.Size == 0 {
+		return p.Buf.Base
+	}
+	if p.bufCursor+n > p.Buf.Size {
+		return p.Buf.Base
+	}
+	return p.Buf.Base + p.bufCursor
+}
+
+// stackGen returns the process's stack traffic generator.
+func (p *Process) stackGen() AddrGen { return StackGen{SP: p.Stack} }
+
+// wsGen returns the process's heap working-set generator: hot fraction
+// of Data absorbs most references.
+func (p *Process) wsGen(hotBytes uint32) AddrGen {
+	if hotBytes == 0 || hotBytes > p.Data.Size {
+		hotBytes = p.Data.Size
+	}
+	return &WorkingSetGen{
+		Base:      p.Data.Base,
+		HotBytes:  hotBytes,
+		ColdBytes: p.Data.Size - hotBytes,
+		HotPct:    96,
+	}
+}
+
+// dataMix returns the default load/store mix over stack and heap.
+func (p *Process) dataMix(hotBytes uint32) DataMix {
+	return DefaultMix(MixGen{A: p.stackGen(), APct: 40, B: p.wsGen(hotBytes)})
+}

@@ -1,0 +1,229 @@
+package osmodel
+
+import (
+	"onchip/internal/trace"
+	"onchip/internal/vm"
+)
+
+// Mach service invocation (Figure 2, right). A UNIX system call is (1)
+// trapped by the kernel, (2) bounced back to the emulation library
+// mapped into the task, which (3) marshals the arguments into an RPC and
+// sends the message through the kernel to (4) the BSD server, which
+// unpacks and performs the service; the reply travels (5) back through
+// the kernel to (6) the emulation library, which (7) returns to the
+// task. The paper measures the call path (1-4) at about 1000
+// instructions and the return path (5-7) at about 850.
+const (
+	machTrapInstrs    = 30  // (1) kernel trap, emulated-syscall detection
+	machBounceInstrs  = 40  // (2) redirect to the emulation library
+	machMarshalInstrs = 300 // (3) emulation library: argument marshaling
+	machSendInstrs    = 400 // (3->4) kernel IPC send: port lookup, copy, handoff
+	machUnpackInstrs  = 200 // (4) BSD server RPC stub: unpack
+	machReplyInstrs   = 250 // (5) BSD server: marshal reply, send
+	machRecvInstrs    = 350 // (5->6) kernel IPC receive path back to the task
+	machReturn2Instrs = 150 // (6-7) emulation library: unpack, return
+	machSwitchInstrs  = 120 // scheduler handoff between address spaces
+)
+
+// MachCallPathInstrs is the modeled instruction count of the Mach
+// service call path, steps (1)-(4).
+const MachCallPathInstrs = machTrapInstrs + machBounceInstrs + machMarshalInstrs +
+	machSendInstrs + machUnpackInstrs
+
+// MachReturnPathInstrs is the modeled instruction count of the Mach
+// return path, steps (5)-(7).
+const MachReturnPathInstrs = machReplyInstrs + machRecvInstrs + machReturn2Instrs
+
+func (s *System) machSyscall(c Call) {
+	em := s.em
+	app := s.app
+
+	// (1) Trap: the kernel detects a syscall that requires emulation.
+	em.SetContext(app.ASID, trace.Kernel)
+	em.Seq(s.kern.trapEntry.Base, machTrapInstrs, s.kmix)
+	// (2) Bounce back into the emulation library, still in the task's
+	// address space but now in user mode.
+	em.Seq(s.kern.dispatch.Base+2048, machBounceInstrs, s.kmix)
+	em.SetContext(app.ASID, trace.User)
+
+	// (3) The emulation library marshals arguments into a message in
+	// the task's address space.
+	msgBuf := app.Emul.End() - 4096
+	emulMix := DataMix{LoadPct: 18, StorePct: 14,
+		Gen: MixGen{A: app.stackGen(), APct: 50, B: &WorkingSetGen{Base: msgBuf, HotBytes: 1024, HotPct: 100}}}
+	em.Walk(app.Emul.Base, app.Emul.Size-4096, uint32(c.Svc)*512+s.pathVariant(), machMarshalInstrs, emulMix)
+
+	// msg_send trap: the kernel IPC path moves the message to the BSD
+	// server. Only outbound payloads (writes, socket sends) travel in
+	// the request; small ones are copied through a kernel message
+	// buffer, large ones move out-of-line by remapping.
+	em.SetContext(app.ASID, trace.Kernel)
+	em.Seq(s.kern.ipcCode.Base, machSendInstrs, s.ipcMix)
+	var oolWindow uint32
+	if outbound(c.Svc) && c.Bytes > 0 {
+		if c.Bytes <= s.oolBytes {
+			em.Copy(s.kern.ipcCode.Base+4096, s.kmsgCur.next(uint32(c.Bytes)),
+				app.NextBufPage(uint32(c.Bytes)), c.Bytes)
+		} else {
+			s.oolTransfer(app, c.Bytes)
+			oolWindow = s.sharedCur.next(uint32(c.Bytes))
+		}
+	}
+	// Handoff-schedule onto the BSD server.
+	em.Seq(s.kern.schedCode.Base, machSwitchInstrs, s.kmix)
+	em.SetContext(s.bsd.ASID, trace.User)
+
+	// (4) BSD server: unpack and perform the service. Under the
+	// decomposed-server restructuring, file-system services first
+	// resolve through the name/authentication server -- one more RPC
+	// hop through the kernel and one more address space.
+	em.Walk(s.bsd.Text.Base, 32<<10, uint32(c.Svc)*1024+s.pathVariant(), machUnpackInstrs, s.host.mix)
+	if s.nameServer != nil && isFSService(c.Svc) {
+		s.nameServerHop(c)
+	}
+	s.machServiceBody(c, oolWindow)
+
+	// (5) Reply: marshal in the server, send back through the kernel.
+	em.Walk(s.bsd.Text.Base+32<<10, 32<<10, uint32(c.Svc)*1024+s.pathVariant(), machReplyInstrs, s.host.mix)
+	em.SetContext(s.bsd.ASID, trace.Kernel)
+	em.Seq(s.kern.ipcCode.Base+s.kern.ipcCode.Size/2, machRecvInstrs, s.ipcMix)
+	em.Seq(s.kern.schedCode.Base, machSwitchInstrs, s.kmix)
+
+	// (6-7) Emulation library unpacks the reply and returns to the
+	// task; small results are copied into the task's buffer.
+	em.SetContext(app.ASID, trace.User)
+	em.Walk(app.Emul.Base, app.Emul.Size-4096, uint32(c.Svc)*512+16384+s.pathVariant(), machReturn2Instrs, emulMix)
+	if c.Svc == SvcRead && c.Bytes > 0 && c.Bytes <= oolThreshold {
+		em.Copy(app.Emul.Base+1024, app.NextBufPage(uint32(c.Bytes)),
+			s.kmsgCur.next(uint32(c.Bytes)), c.Bytes)
+	}
+}
+
+// machServiceBody performs the service inside the BSD server. The body
+// code is the same 4.3BSD-derived logic as under Ultrix (the host
+// regions point into the server's text), but it runs in user mode on
+// mapped pages, and bulk data moves between the server's buffer cache
+// and message buffers rather than directly to the user.
+func (s *System) machServiceBody(c Call, oolWindow uint32) {
+	em := s.em
+	h := &s.host
+	entry := uint32(c.Svc)*4096 + s.pathVariant() // per-service path + branch variant
+	switch c.Svc {
+	case SvcRead:
+		em.Walk(h.fsCode.Base, h.fsCode.Size, entry, fsMetaInstrs, h.mix)
+		if c.Bytes > s.oolBytes {
+			// Large read: the reply moves the buffer-cache pages
+			// out-of-line; the kernel does the VM bookkeeping and the
+			// task faults the pages in lazily on first use.
+			s.oolTransfer(s.bsd, c.Bytes)
+			window := s.sharedCur.next(uint32(c.Bytes))
+			s.clientTouch(s.app, window, c.Bytes)
+		} else if c.Bytes > 0 {
+			em.Copy(h.fsCode.Base+1024, s.kmsgCur.next(uint32(c.Bytes)),
+				h.cachePage(uint32(c.Bytes)), c.Bytes)
+		}
+	case SvcWrite:
+		em.Walk(h.fsCode.Base, h.fsCode.Size, entry, fsMetaInstrs, h.mix)
+		src := s.kmsgCur.next(uint32(c.Bytes))
+		if c.Bytes > s.oolBytes {
+			src = oolWindow
+		}
+		em.Copy(h.fsCode.Base+2048, h.cachePage(uint32(c.Bytes)), src, c.Bytes)
+	case SvcSockSend:
+		// Socket traffic to the X server: protocol processing in the
+		// server, delivery into the X server's receive buffer via a
+		// second IPC hop.
+		em.Walk(h.sockCode.Base, h.sockCode.Size, entry, sockInstrs(c.Bytes), h.mix)
+		src := s.kmsgCur.next(uint32(c.Bytes))
+		if c.Bytes > s.oolBytes {
+			src = oolWindow
+		}
+		em.Copy(h.sockCode.Base+1024, s.xbufCur.next(uint32(c.Bytes)), src, c.Bytes)
+		em.SetContext(s.bsd.ASID, trace.Kernel)
+		em.Seq(s.kern.ipcCode.Base, machSendInstrs/2, s.ipcMix)
+		em.SetContext(s.bsd.ASID, trace.User)
+	case SvcSockRecv:
+		em.Walk(h.sockCode.Base, h.sockCode.Size, entry, sockInstrs(c.Bytes), h.mix)
+		em.Copy(h.sockCode.Base+2048, s.kmsgCur.next(uint32(c.Bytes)),
+			s.bsd.NextBufPage(uint32(c.Bytes)), c.Bytes)
+	case SvcStat:
+		em.Walk(h.fsCode.Base, h.fsCode.Size, entry, statInstrs, h.mix)
+	case SvcOpenClose:
+		em.Walk(h.fsCode.Base, h.fsCode.Size, entry, openCloseInstrs, h.mix)
+	case SvcIoctl:
+		em.Walk(h.sockCode.Base, h.sockCode.Size, entry, ioctlInstrs, h.mix)
+	case SvcBrk:
+		// VM calls go to the Mach kernel directly.
+		s.vmGrow(s.app, brkInstrs, 2)
+	case SvcExec:
+		s.exec(s.app)
+	case SvcSelect:
+		em.Walk(h.sockCode.Base, h.sockCode.Size, entry, selectInstrs, h.mix)
+	}
+}
+
+// isFSService reports whether the service consults the file name space.
+func isFSService(svc Service) bool {
+	switch svc {
+	case SvcRead, SvcWrite, SvcStat, SvcOpenClose, SvcExec:
+		return true
+	}
+	return false
+}
+
+// nameServerHop models the extra RPC from the BSD server to the
+// small-granularity name server: a short kernel IPC round trip plus a
+// lookup in the name server's own mapped address space.
+func (s *System) nameServerHop(c Call) {
+	em := s.em
+	em.SetContext(s.bsd.ASID, trace.Kernel)
+	em.Seq(s.kern.ipcCode.Base, machSendInstrs/2, s.ipcMix)
+	em.Seq(s.kern.schedCode.Base, machSwitchInstrs, s.kmix)
+	em.SetContext(s.nameServer.ASID, trace.User)
+	em.Walk(s.nameServer.Text.Base, s.nameServer.Text.Size,
+		uint32(c.Svc)*2048+s.pathVariant(), 400, s.nameServer.dataMix(4<<10))
+	em.SetContext(s.nameServer.ASID, trace.Kernel)
+	em.Seq(s.kern.ipcCode.Base+s.kern.ipcCode.Size/2, machRecvInstrs/2, s.ipcMix)
+	em.Seq(s.kern.schedCode.Base, machSwitchInstrs, s.kmix)
+	em.SetContext(s.bsd.ASID, trace.User)
+}
+
+// oolTransfer models Mach's out-of-line data path for large messages:
+// no copy, but VM bookkeeping in the kernel (mapped vm_object state in
+// kseg2) and page-table updates for the receiver's new mapping. This is
+// the mechanism the paper notes "is likely to shift misses from the
+// I-cache to the TLB" (section 4.3).
+func (s *System) oolTransfer(from *Process, bytes int) {
+	em := s.em
+	vmMix := DataMix{LoadPct: 25, StorePct: 15,
+		Gen: &WorkingSetGen{Base: s.kern.vmObjects.Base, HotBytes: 2 << 10,
+			ColdBytes: s.kern.vmObjects.Size - 2<<10, HotPct: 92}}
+	em.Seq(s.kern.vmCode.Base+8192, 350, vmMix)
+	pages := (bytes + vm.PageSize - 1) / vm.PageSize
+	for i := 0; i < pages; i++ {
+		em.Store(pteAddrFor(from.ASID, uint32(vm.SharedMapBase+i*vm.PageSize)))
+	}
+}
+
+// clientTouch has the client lazily touch freshly mapped out-of-line
+// pages: one reference per page. The data was moved by remapping, not
+// copying, so the client pays translation and fault costs per page
+// rather than per-word copy costs -- the paper's "shift misses from the
+// I-cache to the TLB".
+func (s *System) clientTouch(client *Process, window uint32, bytes int) {
+	em := s.em
+	asid, mode := em.Context()
+	em.SetContext(client.ASID, trace.User)
+	pages := (bytes + vm.PageSize - 1) / vm.PageSize
+	for i := 0; i < pages; i++ {
+		em.IFetch(client.Emul.Base + 2048 + uint32(i%8)*4)
+		em.Load(window + uint32(i*vm.PageSize))
+	}
+	em.SetContext(asid, mode)
+}
+
+// pteAddrFor returns the kseg2 PTE address backing addr in asid's page
+// table.
+func pteAddrFor(asid uint8, addr uint32) uint32 {
+	return vm.PTEAddr(asid, vm.VPN(addr))
+}

@@ -1,0 +1,129 @@
+package osmodel
+
+import (
+	"testing"
+
+	"onchip/internal/trace"
+)
+
+func TestMultiGeneratesAllWorkloads(t *testing.T) {
+	m := NewMulti(Mach, testSpec(), testSpec())
+	seen := map[uint8]bool{}
+	m.Generate(200_000, trace.SinkFunc(func(r trace.Ref) {
+		if r.Mode == trace.User && !IsServerASID(r.ASID) {
+			seen[r.ASID] = true
+		}
+	}))
+	if !seen[multiSlots[0].app] || !seen[multiSlots[1].app] {
+		t.Errorf("expected both application ASIDs in the stream, saw %v", seen)
+	}
+	stats := m.Stats()
+	if len(stats) != 2 || stats[0].Instrs == 0 || stats[1].Instrs == 0 {
+		t.Errorf("per-workload stats incomplete: %+v", stats)
+	}
+}
+
+func TestMultiRoundRobinIsFair(t *testing.T) {
+	m := NewMulti(Ultrix, testSpec(), testSpec())
+	m.Generate(400_000, trace.Discard)
+	s := m.Stats()
+	a, b := float64(s[0].Refs), float64(s[1].Refs)
+	if a/b > 1.3 || b/a > 1.3 {
+		t.Errorf("unfair scheduling: %v vs %v refs", a, b)
+	}
+}
+
+func TestMultiExecPoolsDisjoint(t *testing.T) {
+	spec := testSpec()
+	spec.ExecEvery = 3
+	m := NewMulti(Mach, spec, spec)
+	asids := map[uint8]int{} // asid -> workload slot
+	m.Generate(600_000, trace.SinkFunc(func(r trace.Ref) {}))
+	for i, sys := range m.systems {
+		a := sys.AppASID()
+		if slot, dup := asids[a]; dup {
+			t.Fatalf("workloads %d and %d share ASID %d after exec", slot, i, a)
+		}
+		asids[a] = i
+		if a != multiSlots[i].app && (a < multiSlots[i].execLo || a > multiSlots[i].execHi) {
+			t.Errorf("workload %d ASID %d outside its slot", i, a)
+		}
+	}
+}
+
+func TestMultiLimits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero workloads")
+		}
+	}()
+	NewMulti(Mach)
+}
+
+// Interference: a workload sharing the machine suffers more cache misses
+// than running alone (measured on a small I-cache fed by the combined
+// stream versus the solo stream, same per-workload volume).
+func TestMultiInterference(t *testing.T) {
+	countMisses := func(gen trace.Generator, refs int) (misses, instrs uint64) {
+		// direct-mapped filter: 4096 lines of 16 bytes (64 KB), large
+		// enough that one workload mostly fits and two do not
+		var tags [4096]uint64
+		gen.Generate(refs, trace.SinkFunc(func(r trace.Ref) {
+			if r.Kind != trace.IFetch {
+				return
+			}
+			instrs++
+			block := uint64(r.ASID)<<32 | uint64(r.Addr>>4)
+			set := block & 4095
+			if tags[set] != block+1 {
+				tags[set] = block + 1
+				misses++
+			}
+		}))
+		return
+	}
+	specA := testSpec()
+	specB := testSpec()
+	specB.Seed = 0xbee
+	soloM, soloN := countMisses(NewSystem(Mach, specA), 200_000)
+	multiM, multiN := countMisses(NewMulti(Mach, specA, specB), 400_000)
+	solo := float64(soloM) / float64(soloN)
+	multi := float64(multiM) / float64(multiN)
+	if multi <= solo {
+		t.Errorf("multiprogrammed miss ratio %.4f <= solo %.4f; interference missing", multi, solo)
+	}
+}
+
+func TestMultiAPIUsesDistinctServers(t *testing.T) {
+	spec := testSpec()
+	m := NewMultiAPI(Mach, spec, spec)
+	servers := map[uint8]bool{}
+	m.Generate(300_000, trace.SinkFunc(func(r trace.Ref) {
+		if r.Mode == trace.User && IsServerASID(r.ASID) && r.ASID != asidX {
+			servers[r.ASID] = true
+		}
+	}))
+	if len(servers) < 2 {
+		t.Errorf("expected two API server address spaces, saw %v", servers)
+	}
+	// The shared-server configuration must use exactly one.
+	shared := NewMulti(Mach, spec, spec)
+	servers = map[uint8]bool{}
+	shared.Generate(300_000, trace.SinkFunc(func(r trace.Ref) {
+		if r.Mode == trace.User && IsServerASID(r.ASID) && r.ASID != asidX {
+			servers[r.ASID] = true
+		}
+	}))
+	if len(servers) != 1 {
+		t.Errorf("shared configuration used %v server spaces, want 1", servers)
+	}
+}
+
+func TestMultiAPIUltrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMultiAPI under Ultrix must panic")
+		}
+	}()
+	NewMultiAPI(Ultrix, testSpec())
+}

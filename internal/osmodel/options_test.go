@@ -1,0 +1,84 @@
+package osmodel
+
+import (
+	"testing"
+
+	"onchip/internal/trace"
+	"onchip/internal/vm"
+)
+
+// bigPayloadSpec issues reads large enough to cross the default
+// out-of-line threshold.
+func bigPayloadSpec() WorkloadSpec {
+	w := testSpec()
+	w.Calls = []CallMix{{Call: Call{Svc: SvcRead, Bytes: 16 * 1024}, Weight: 1}}
+	w.FrameBytes = 0
+	return w
+}
+
+func countSharedRefs(sys *System, refs int) (shared, kmsg uint64) {
+	sys.Generate(refs, trace.SinkFunc(func(r trace.Ref) {
+		if !r.Data() {
+			return
+		}
+		switch {
+		case r.Addr >= vm.SharedMapBase && r.Addr < vm.EmulatorBase:
+			shared++
+		case vm.SegmentOf(r.Addr) == vm.Kseg2 && r.Addr >= vm.PageTableBase+0x10000000:
+			kmsg++
+		}
+	}))
+	return
+}
+
+func TestOOLThresholdControlsTransferPath(t *testing.T) {
+	// Default threshold: 16-KB reads move out-of-line -> shared-window
+	// references appear.
+	def := NewSystem(Mach, bigPayloadSpec())
+	sharedDef, _ := countSharedRefs(def, 150_000)
+	if sharedDef == 0 {
+		t.Error("large reads should touch out-of-line shared windows by default")
+	}
+	// Threshold raised above the payload: everything copies, no shared
+	// windows.
+	copyAll := NewSystem(Mach, bigPayloadSpec())
+	copyAll.SetOOLThreshold(1 << 30)
+	sharedCopy, _ := countSharedRefs(copyAll, 150_000)
+	if sharedCopy != 0 {
+		t.Errorf("copy-all still produced %d shared-window refs", sharedCopy)
+	}
+}
+
+func TestDecomposedServersAddNameServer(t *testing.T) {
+	spec := testSpec()
+	plain := NewSystem(Mach, spec)
+	plainStats := plain.Run(150_000, trace.Discard)
+
+	dec := NewSystem(Mach, spec)
+	dec.EnableDecomposedServers()
+	var nameServerInstrs uint64
+	dec.Generate(150_000, trace.SinkFunc(func(r trace.Ref) {
+		if r.Kind == trace.IFetch && r.ASID == asidPager && r.Mode == trace.User {
+			nameServerInstrs++
+		}
+	}))
+	if nameServerInstrs == 0 {
+		t.Fatal("decomposed system never ran the name server")
+	}
+	decStats := dec.statsSnapshot()
+	// The extra hops lengthen the per-call OS path.
+	plainOS := float64(plainStats.Instrs-plainStats.AppInstrs) / float64(plainStats.Calls)
+	decOS := float64(decStats.Instrs-decStats.AppInstrs) / float64(decStats.Calls)
+	if decOS <= plainOS {
+		t.Errorf("decomposed OS path %.0f instrs/call <= monolithic %.0f", decOS, plainOS)
+	}
+}
+
+func TestDecomposedServersUltrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("decomposed servers under Ultrix must panic")
+		}
+	}()
+	NewSystem(Ultrix, testSpec()).EnableDecomposedServers()
+}

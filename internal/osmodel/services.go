@@ -1,0 +1,115 @@
+package osmodel
+
+import "fmt"
+
+// Service identifies an operating-system service used by the workloads.
+// Both operating systems implement the same services with the same
+// 4.3BSD-derived service bodies (the paper notes the two systems share
+// service code ancestry); they differ in the invocation path.
+type Service uint8
+
+const (
+	// SvcRead is a file read (IOzone, mab, mpeg_play input).
+	SvcRead Service = iota
+	// SvcWrite is a file write.
+	SvcWrite
+	// SvcSockSend sends bytes on a socket (X protocol traffic).
+	SvcSockSend
+	// SvcSockRecv receives from a socket (X replies/events).
+	SvcSockRecv
+	// SvcStat is a file-attribute lookup (mab's tree walks).
+	SvcStat
+	// SvcOpenClose is an open/close pair.
+	SvcOpenClose
+	// SvcIoctl is a small control operation.
+	SvcIoctl
+	// SvcBrk grows the heap (page-table updates).
+	SvcBrk
+	// SvcExec overlays the process with a fresh address space (mab's
+	// compile phases); it recycles the ASID pool and leaves the caches
+	// and TLB cold for the new image.
+	SvcExec
+	// SvcSelect is a descriptor wait (X clients).
+	SvcSelect
+	nServices
+)
+
+func (s Service) String() string {
+	names := [...]string{"read", "write", "sock_send", "sock_recv", "stat",
+		"open_close", "ioctl", "brk", "exec", "select"}
+	if int(s) < len(names) {
+		return names[s]
+	}
+	return fmt.Sprintf("Service(%d)", uint8(s))
+}
+
+// Call is one OS service invocation with its payload size.
+type Call struct {
+	Svc   Service
+	Bytes int // payload moved, for data-bearing services
+}
+
+// CallMix is a weighted service mix; the workload driver draws calls
+// from it.
+type CallMix struct {
+	Call   Call
+	Weight int
+}
+
+// instruction-path budgets for the service bodies, in instructions.
+// These are shared between Ultrix and Mach ("differences with respect to
+// this service code are minor because both systems are derived from the
+// same 4.2 BSD code", section 4.1).
+const (
+	fsMetaInstrs    = 500 // name lookup, inode handling per read/write
+	statInstrs      = 350
+	openCloseInstrs = 900
+	ioctlInstrs     = 250
+	brkInstrs       = 400
+	execInstrs      = 2500
+	selectInstrs    = 300
+	sockPathInstrs  = 450 // protocol processing per send/recv
+)
+
+// outbound reports whether a service carries its payload in the request
+// (client to server) rather than in the reply.
+func outbound(svc Service) bool { return svc == SvcWrite || svc == SvcSockSend }
+
+// sockInstrs scales socket protocol processing with the payload:
+// checksums, mbuf chaining and X protocol handling cost instructions per
+// byte on top of the fixed path.
+func sockInstrs(bytes int) int { return sockPathInstrs + bytes/16 }
+
+// oolThreshold is the payload size above which Mach IPC switches from
+// in-line message copy to out-of-line virtual-memory transfer
+// ("out-of-line (virtual memory) transfers for the expensive case of
+// large messages", section 4.3).
+const oolThreshold = 8 * 1024
+
+// serviceHost describes where a service body runs: in the kernel
+// (Ultrix) or inside the user-level BSD server (Mach). The code regions
+// and buffer cache move with it; that relocation is the paper's central
+// mechanism, since code and data that run unmapped and shared in Ultrix
+// become mapped, per-address-space state in Mach.
+type serviceHost struct {
+	fsCode   Region
+	sockCode Region
+	bufCache Region // file buffer cache pages
+	mix      DataMix
+	// cursor streams through the buffer cache for sequential I/O.
+	cursor uint32
+}
+
+// cachePage returns the next n bytes of buffer-cache source data,
+// streaming sequentially and wrapping.
+func (h *serviceHost) cachePage(n uint32) uint32 {
+	if h.bufCache.Size == 0 {
+		return h.bufCache.Base
+	}
+	if h.cursor+n > h.bufCache.Size {
+		h.cursor = 0
+	}
+	a := h.bufCache.Base + h.cursor
+	h.cursor += n
+	return a
+}

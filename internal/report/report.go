@@ -1,0 +1,122 @@
+// Package report renders experiment results as plain-text tables and
+// ASCII series, the output format of cmd/memalloc and the examples.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable starts a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	return s
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "%s\n", t.title)
+	}
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Series is a labeled sequence of (x, y) points, rendered as an aligned
+// listing plus an ASCII bar chart -- the textual stand-in for the
+// paper's figures.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Point is one (x, y) sample.
+type Point struct {
+	X string
+	Y float64
+}
+
+// Chart renders one or more series sharing the same X axis.
+func Chart(title, yLabel string, series ...Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxY := 0.0
+	xw := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Y > maxY {
+				maxY = p.Y
+			}
+			if len(p.X) > xw {
+				xw = len(p.X)
+			}
+		}
+	}
+	const barWidth = 46
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %s (%s)\n", s.Label, yLabel)
+		for _, p := range s.Points {
+			n := 0
+			if maxY > 0 {
+				n = int(p.Y / maxY * barWidth)
+			}
+			fmt.Fprintf(&b, "    %-*s %10.4f |%s\n", xw, p.X, p.Y, strings.Repeat("#", n))
+		}
+	}
+	return b.String()
+}

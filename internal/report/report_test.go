@@ -1,0 +1,76 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Title", "Name", "Value")
+	tab.Row("alpha", 1.5)
+	tab.Row("a-much-longer-name", "x")
+	out := tab.String()
+	if !strings.Contains(out, "Title") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, separator, 2 rows -> 5? title+header+sep+2 rows = 5
+		if len(lines) != 5 {
+			t.Fatalf("got %d lines:\n%s", len(lines), out)
+		}
+	}
+	// Columns aligned: the header and first row start "Value" at the
+	// same offset.
+	hdr := lines[1]
+	if !strings.Contains(hdr, "Name") || !strings.Contains(hdr, "Value") {
+		t.Errorf("header = %q", hdr)
+	}
+	col := strings.Index(hdr, "Value")
+	row := lines[3]
+	if len(row) <= col {
+		t.Fatalf("row too short: %q", row)
+	}
+}
+
+func TestTableFloatsTrimmed(t *testing.T) {
+	tab := NewTable("", "v")
+	tab.Row(1.23456)
+	if !strings.Contains(tab.String(), "1.235") {
+		t.Errorf("float not formatted: %s", tab.String())
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	out := Chart("My Chart", "widgets",
+		Series{Label: "a", Points: []Point{{X: "one", Y: 1}, {X: "two", Y: 2}}},
+		Series{Label: "b", Points: []Point{{X: "one", Y: 4}}},
+	)
+	if !strings.Contains(out, "My Chart") || !strings.Contains(out, "a (widgets)") {
+		t.Errorf("chart missing labels:\n%s", out)
+	}
+	// The max point gets the longest bar.
+	lines := strings.Split(out, "\n")
+	var barFor = func(x string, label string) int {
+		inSeries := false
+		for _, l := range lines {
+			if strings.Contains(l, label+" (") {
+				inSeries = true
+				continue
+			}
+			if inSeries && strings.Contains(l, x) {
+				return strings.Count(l, "#")
+			}
+		}
+		return -1
+	}
+	if barFor("one", "b") <= barFor("two", "a") {
+		t.Error("largest value should have the longest bar")
+	}
+}
+
+func TestChartZeroSafe(t *testing.T) {
+	out := Chart("empty", "y", Series{Label: "s", Points: []Point{{X: "x", Y: 0}}})
+	if !strings.Contains(out, "0.0000") {
+		t.Errorf("zero point not rendered: %s", out)
+	}
+}

@@ -1,0 +1,175 @@
+package sampling
+
+import (
+	"testing"
+
+	"onchip/internal/area"
+	"onchip/internal/cache"
+	"onchip/internal/osmodel"
+	"onchip/internal/trace"
+	"onchip/internal/vm"
+)
+
+// fixedRatioGen emits a deterministic stream whose I-miss ratio is known
+// by construction: a loop that alternates hot and one-touch code.
+type fixedRatioGen struct {
+	pc   uint32
+	step int
+}
+
+func (g *fixedRatioGen) Generate(n int, sink trace.Sink) int {
+	for i := 0; i < n; i++ {
+		var addr uint32
+		if g.step%4 == 0 {
+			// One-touch cold code: always a fresh line.
+			g.pc += 64
+			addr = 0x80000000 + g.pc
+		} else {
+			addr = 0x90000000 + uint32(g.step%4)*4
+		}
+		g.step++
+		sink.Ref(trace.Ref{Addr: addr, Kind: trace.IFetch, Mode: trace.Kernel})
+	}
+	return n
+}
+
+func icacheTarget(capBytes int) (*cache.Cache, *CacheTarget) {
+	c := cache.New(cache.Config{CacheConfig: area.CacheConfig{CapacityBytes: capBytes, LineWords: 4, Assoc: 1}})
+	return c, &CacheTarget{Access: func(r trace.Ref) (bool, bool) {
+		if r.Kind != trace.IFetch {
+			return false, false
+		}
+		return c.Access(vm.CacheKey(r.Addr, r.ASID), false), true
+	}}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if err := DefaultPlan().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Plan{
+		{Samples: 0, WindowRefs: 10},
+		{Samples: 5, WindowRefs: 0},
+		{Samples: 5, WindowRefs: 10, GapRefs: -1},
+	}
+	for _, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("plan %+v accepted", p)
+		}
+	}
+	if _, err := Run(bad[0], &fixedRatioGen{}, &CacheTarget{Access: func(trace.Ref) (bool, bool) { return true, true }}); err == nil {
+		t.Error("Run accepted an invalid plan")
+	}
+}
+
+func TestEstimateMatchesConstructedRatio(t *testing.T) {
+	// The generator misses exactly one reference in four (fresh 16-byte
+	// line every 4th fetch, hot loop otherwise).
+	_, target := icacheTarget(1 << 10)
+	est, err := Run(Plan{Samples: 30, WindowRefs: 4000, GapRefs: 8000, Seed: 9}, &fixedRatioGen{}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Mean < 0.22 || est.Mean > 0.28 {
+		t.Errorf("estimated miss ratio %.4f, want ~0.25", est.Mean)
+	}
+	if est.Samples != 30 {
+		t.Errorf("samples = %d", est.Samples)
+	}
+	if est.RefsSeen == 0 {
+		t.Error("RefsSeen not tracked")
+	}
+	if est.String() == "" {
+		t.Error("empty estimate string")
+	}
+}
+
+// The paper's validation: sampled estimates agree with full-trace
+// simulation to under 10% on the real workload streams.
+func TestSamplingAccuracyOnWorkload(t *testing.T) {
+	spec := osmodel.WorkloadSpec{
+		Name:          "t",
+		Seed:          7,
+		ComputeInstrs: 3000,
+		TextBytes:     64 << 10,
+		HotLoopBytes:  2 << 10,
+		ColdCodePct:   5,
+		DataBytes:     128 << 10,
+		HotDataBytes:  4 << 10,
+		BufBytes:      64 << 10,
+		Calls: []osmodel.CallMix{
+			{Call: osmodel.Call{Svc: osmodel.SvcRead, Bytes: 2048}, Weight: 1},
+			{Call: osmodel.Call{Svc: osmodel.SvcStat}, Weight: 1},
+		},
+	}
+	_, target := icacheTarget(8 << 10)
+	est, err := Run(Plan{Samples: 50, WindowRefs: 20_000, GapRefs: 30_000, Seed: 0x5a317},
+		osmodel.NewSystem(osmodel.Mach, spec), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full, fullTarget := icacheTarget(8 << 10)
+	osmodel.NewSystem(osmodel.Mach, spec).Generate(2_500_000, trace.SinkFunc(fullTarget.Ref))
+	fullTarget.Counting(true)
+	osmodel.NewSystem(osmodel.Mach, spec).Generate(500_000, trace.SinkFunc(func(r trace.Ref) {
+		fullTarget.Ref(r)
+	}))
+	_ = full
+	ref := fullTarget.SampleDone()
+
+	rel := est.Mean/ref - 1
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 0.10 {
+		t.Errorf("sampled %.4f vs full %.4f: %.1f%% apart (paper bound: 10%%)", est.Mean, ref, rel*100)
+	}
+}
+
+func TestCacheTargetCounting(t *testing.T) {
+	hits := 0
+	target := &CacheTarget{Access: func(trace.Ref) (bool, bool) {
+		hits++
+		return hits%2 == 0, true
+	}}
+	// Not counting: refs pass through but are not tallied.
+	target.Counting(false)
+	target.Ref(trace.Ref{})
+	target.Ref(trace.Ref{})
+	if got := target.SampleDone(); got != 0 {
+		t.Errorf("uncounted sample ratio = %f", got)
+	}
+	// Counting: 50% misses.
+	target.Counting(true)
+	for i := 0; i < 10; i++ {
+		target.Ref(trace.Ref{})
+	}
+	if got := target.SampleDone(); got != 0.5 {
+		t.Errorf("ratio = %f, want 0.5", got)
+	}
+	// SampleDone resets the window.
+	if got := target.SampleDone(); got != 0 {
+		t.Errorf("ratio after reset = %f", got)
+	}
+}
+
+func TestWarmupExcluded(t *testing.T) {
+	// A target that records whether any counted access arrives during
+	// the first (warm-up) fraction.
+	seen := 0
+	counted := 0
+	target := &CacheTarget{Access: func(trace.Ref) (bool, bool) {
+		seen++
+		return true, true
+	}}
+	plan := Plan{Samples: 2, WindowRefs: 1000, GapRefs: 0, WarmFrac1000: 500, Seed: 1}
+	gen := &fixedRatioGen{}
+	if _, err := Run(plan, gen, target); err != nil {
+		t.Fatal(err)
+	}
+	_ = counted
+	if seen != 2000 {
+		t.Errorf("target saw %d refs, want 2000 (both windows, warm-up included)", seen)
+	}
+}

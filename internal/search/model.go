@@ -1,0 +1,188 @@
+package search
+
+import (
+	"fmt"
+	"math"
+
+	"onchip/internal/area"
+)
+
+// Measured is a PerfModel backed by simulation results: the experiment
+// harness sweeps the design space with the cache and TLB simulators and
+// records each configuration's CPI contribution here. Lookup of an
+// unmeasured configuration panics -- the sweep and the search must
+// enumerate the same space.
+type Measured struct {
+	TLB  map[area.TLBConfig]float64
+	IC   map[area.CacheConfig]float64
+	DC   map[area.CacheConfig]float64
+	Base float64
+}
+
+// NewMeasured returns an empty measured model with the given base CPI
+// (1.0 plus the configuration-independent write-buffer and other
+// stalls).
+func NewMeasured(base float64) *Measured {
+	return &Measured{
+		TLB:  make(map[area.TLBConfig]float64),
+		IC:   make(map[area.CacheConfig]float64),
+		DC:   make(map[area.CacheConfig]float64),
+		Base: base,
+	}
+}
+
+// TLBCPI implements PerfModel.
+func (m *Measured) TLBCPI(cfg area.TLBConfig) float64 {
+	v, ok := m.TLB[cfg]
+	if !ok {
+		panic(fmt.Sprintf("search: TLB config %v was not measured", cfg))
+	}
+	return v
+}
+
+// ICacheCPI implements PerfModel.
+func (m *Measured) ICacheCPI(cfg area.CacheConfig) float64 {
+	v, ok := m.IC[cfg]
+	if !ok {
+		panic(fmt.Sprintf("search: I-cache config %v was not measured", cfg))
+	}
+	return v
+}
+
+// DCacheCPI implements PerfModel.
+func (m *Measured) DCacheCPI(cfg area.CacheConfig) float64 {
+	v, ok := m.DC[cfg]
+	if !ok {
+		panic(fmt.Sprintf("search: D-cache config %v was not measured", cfg))
+	}
+	return v
+}
+
+// BaseCPI implements PerfModel.
+func (m *Measured) BaseCPI() float64 { return m.Base }
+
+// Analytic is a closed-form PerfModel with power-law miss curves. It is
+// not a substitute for simulation -- the experiments use Measured -- but
+// it gives tests and examples a fast, monotone, qualitatively correct
+// benefit model: misses fall with capacity and associativity, large
+// lines help the I-stream more than the D-stream, and TLB service time
+// flattens once the page working set fits.
+type Analytic struct {
+	// PageWorkingSet is the number of pages the workload cycles
+	// through (drives the TLB curve).
+	PageWorkingSet int
+	// IMissAt8K and DMissAt8K anchor the miss-ratio curves for a
+	// direct-mapped 4-word-line 8-KB cache.
+	IMissAt8K float64
+	DMissAt8K float64
+	// IFrac and DFrac are references per instruction for each stream.
+	IFrac, DFrac float64
+	// Base is the configuration-independent CPI floor.
+	Base float64
+}
+
+// MachLike returns an analytic model tuned to the paper's Mach
+// measurements: high I-miss ratios with strong line-size response and a
+// page working set that defeats small TLBs.
+func MachLike() Analytic {
+	return Analytic{
+		PageWorkingSet: 280,
+		IMissAt8K:      0.065,
+		DMissAt8K:      0.030,
+		IFrac:          1.0,
+		DFrac:          0.35,
+		Base:           1.0 + 0.23 + 0.06, // write buffer + other, Table 4 averages
+	}
+}
+
+// UltrixLike returns an analytic model tuned to the paper's Ultrix
+// measurements.
+func UltrixLike() Analytic {
+	return Analytic{
+		PageWorkingSet: 90,
+		IMissAt8K:      0.028,
+		DMissAt8K:      0.035,
+		IFrac:          1.0,
+		DFrac:          0.35,
+		Base:           1.0 + 0.18 + 0.08,
+	}
+}
+
+// assocFactor reduces misses with associativity, saturating at 8-way.
+func assocFactor(assoc int) float64 {
+	if assoc == area.FullyAssociative {
+		return 0.62
+	}
+	switch {
+	case assoc >= 8:
+		return 0.64
+	case assoc >= 4:
+		return 0.68
+	case assoc >= 2:
+		return 0.75
+	default:
+		return 1.0
+	}
+}
+
+// missRatio is the analytic cache miss-ratio curve: power law in
+// capacity, line-size amortization with a pollution upturn, and an
+// associativity factor.
+func (a Analytic) missRatio(anchor float64, cfg area.CacheConfig, lineExp float64, polluteAt int) float64 {
+	size := float64(cfg.CapacityBytes) / (8 << 10)
+	line := float64(cfg.LineWords) / 4
+	m := anchor * math.Pow(size, -0.55) * math.Pow(line, -lineExp) * assocFactor(cfg.Assoc)
+	if cfg.LineWords > polluteAt {
+		// Cache pollution: beyond the pollution point, larger lines
+		// displace live data.
+		m *= float64(cfg.LineWords) / float64(polluteAt)
+	}
+	return m
+}
+
+// ICacheCPI implements PerfModel.
+func (a Analytic) ICacheCPI(cfg area.CacheConfig) float64 {
+	m := a.missRatio(a.IMissAt8K, cfg, 0.85, 16)
+	return a.IFrac * m * float64(missPenalty(cfg.LineWords))
+}
+
+// DCacheCPI implements PerfModel.
+func (a Analytic) DCacheCPI(cfg area.CacheConfig) float64 {
+	m := a.missRatio(a.DMissAt8K, cfg, 0.55, 8)
+	return a.DFrac * m * float64(missPenalty(cfg.LineWords))
+}
+
+// TLBCPI implements PerfModel: misses fall steeply until the TLB covers
+// the page working set, then hit the compulsory floor.
+func (a Analytic) TLBCPI(cfg area.TLBConfig) float64 {
+	eff := float64(cfg.Entries) * tlbAssocFactor(cfg)
+	coverage := eff / float64(a.PageWorkingSet)
+	const floor = 0.01
+	if coverage >= 1.4 {
+		return floor
+	}
+	miss := 0.25 * math.Pow(coverage, -1.6) // misses per 100 instructions scale
+	return floor + miss*0.02
+}
+
+func tlbAssocFactor(cfg area.TLBConfig) float64 {
+	if cfg.Assoc == area.FullyAssociative {
+		return 1.0
+	}
+	switch {
+	case cfg.Assoc >= 8:
+		return 0.97
+	case cfg.Assoc >= 4:
+		return 0.95
+	case cfg.Assoc >= 2:
+		return 0.90
+	default:
+		return 0.70 // direct-mapped TLBs perform very poorly (Figure 8)
+	}
+}
+
+// BaseCPI implements PerfModel.
+func (a Analytic) BaseCPI() float64 { return a.Base }
+
+// missPenalty mirrors cache.MissPenalty without importing the simulator.
+func missPenalty(lineWords int) int { return 6 + (lineWords - 1) }

@@ -1,0 +1,184 @@
+// Package search implements the paper's Section 5.4 cost/benefit
+// analysis: enumerate every TLB / I-cache / D-cache configuration in the
+// Table 5 design space, price each with the MQF area model, keep the
+// combinations that fit the 250,000-rbe on-chip memory budget, attach
+// the CPI contribution of each component from measured performance data,
+// and rank by total CPI -- producing Tables 6 and 7.
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"onchip/internal/area"
+)
+
+// Space is the configuration space to enumerate (the paper's Table 5).
+type Space struct {
+	TLBEntries    []int
+	TLBAssocs     []int // set associativities; FullyAssociative entries listed in TLBFAEntries
+	TLBFAEntries  []int // entry counts offered fully-associative
+	CacheSizes    []int // bytes, applied to both I- and D-caches
+	CacheAssocs   []int
+	CacheLines    []int // words
+	MaxCacheAssoc int   // 0 = no restriction; 2 reproduces Table 7
+}
+
+// Table5 returns the paper's design space: TLBs from 64 to 512 entries,
+// 1- to 8-way set-associative plus fully-associative up to 64 entries;
+// caches from 2 to 32 KB, 1- to 8-way, with 1- to 32-word lines.
+func Table5() Space {
+	return Space{
+		TLBEntries:   []int{64, 128, 256, 512},
+		TLBAssocs:    []int{1, 2, 4, 8},
+		TLBFAEntries: []int{64},
+		CacheSizes:   []int{2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10},
+		CacheAssocs:  []int{1, 2, 4, 8},
+		CacheLines:   []int{1, 2, 4, 8, 16, 32},
+	}
+}
+
+// TLBConfigs expands the space's TLB configurations.
+func (s Space) TLBConfigs() []area.TLBConfig {
+	var out []area.TLBConfig
+	for _, e := range s.TLBEntries {
+		for _, a := range s.TLBAssocs {
+			if a > e {
+				continue
+			}
+			out = append(out, area.TLBConfig{Entries: e, Assoc: a})
+		}
+	}
+	for _, e := range s.TLBFAEntries {
+		out = append(out, area.TLBConfig{Entries: e, Assoc: area.FullyAssociative})
+	}
+	return out
+}
+
+// CacheConfigs expands the space's cache configurations, honoring
+// MaxCacheAssoc.
+func (s Space) CacheConfigs() []area.CacheConfig {
+	var out []area.CacheConfig
+	for _, size := range s.CacheSizes {
+		for _, a := range s.CacheAssocs {
+			if s.MaxCacheAssoc > 0 && a > s.MaxCacheAssoc {
+				continue
+			}
+			for _, l := range s.CacheLines {
+				c := area.CacheConfig{CapacityBytes: size, LineWords: l, Assoc: a}
+				if c.Validate() != nil {
+					continue
+				}
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// PerfModel supplies the benefit side: CPI contributions of each
+// structure under the workload of interest (the paper uses Mach
+// measurements), plus the configuration-independent base (1.0 plus write
+// buffer and other stalls).
+type PerfModel interface {
+	TLBCPI(cfg area.TLBConfig) float64
+	ICacheCPI(cfg area.CacheConfig) float64
+	DCacheCPI(cfg area.CacheConfig) float64
+	BaseCPI() float64
+}
+
+// Allocation is one complete on-chip memory configuration with its cost
+// and performance.
+type Allocation struct {
+	TLB     area.TLBConfig
+	ICache  area.CacheConfig
+	DCache  area.CacheConfig
+	AreaRBE float64
+	CPI     float64
+}
+
+func (a Allocation) String() string {
+	return fmt.Sprintf("%v | I: %v | D: %v | %.0f rbes | CPI %.3f",
+		a.TLB, a.ICache, a.DCache, a.AreaRBE, a.CPI)
+}
+
+// Enumerate prices every combination in the space, filters to the area
+// budget, computes total CPI with the performance model, and returns the
+// allocations sorted by ascending CPI (ties by ascending area). Component
+// areas and CPIs are computed once per distinct configuration, so the
+// full Table 5 space (about a quarter-million combinations) enumerates
+// in milliseconds.
+func Enumerate(space Space, am area.Model, budget float64, pm PerfModel) []Allocation {
+	type pricedTLB struct {
+		cfg       area.TLBConfig
+		area, cpi float64
+	}
+	type pricedCache struct {
+		cfg  area.CacheConfig
+		area float64
+		icpi float64
+		dcpi float64
+	}
+	var tlbs []pricedTLB
+	for _, t := range space.TLBConfigs() {
+		tlbs = append(tlbs, pricedTLB{t, am.TLBArea(t), pm.TLBCPI(t)})
+	}
+	var caches []pricedCache
+	for _, c := range space.CacheConfigs() {
+		caches = append(caches, pricedCache{c, am.CacheArea(c), pm.ICacheCPI(c), pm.DCacheCPI(c)})
+	}
+
+	base := pm.BaseCPI()
+	var out []Allocation
+	for _, t := range tlbs {
+		for _, ic := range caches {
+			at := t.area + ic.area
+			if at > budget {
+				continue
+			}
+			for _, dc := range caches {
+				total := at + dc.area
+				if total > budget {
+					continue
+				}
+				out = append(out, Allocation{
+					TLB:     t.cfg,
+					ICache:  ic.cfg,
+					DCache:  dc.cfg,
+					AreaRBE: total,
+					CPI:     base + t.cpi + ic.icpi + dc.dcpi,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CPI != out[j].CPI {
+			return out[i].CPI < out[j].CPI
+		}
+		return out[i].AreaRBE < out[j].AreaRBE
+	})
+	return out
+}
+
+// EnumerateFiltered is Enumerate with an extra feasibility predicate --
+// used to impose the access-time (cycle-time) constraint of the paper's
+// proposed extension, or any other designer rule.
+func EnumerateFiltered(space Space, am area.Model, budget float64, pm PerfModel,
+	keep func(tlb area.TLBConfig, icache, dcache area.CacheConfig) bool) []Allocation {
+	all := Enumerate(space, am, budget, pm)
+	out := all[:0]
+	for _, a := range all {
+		if keep(a.TLB, a.ICache, a.DCache) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Top returns the first n allocations (or fewer).
+func Top(allocs []Allocation, n int) []Allocation {
+	if len(allocs) < n {
+		n = len(allocs)
+	}
+	return allocs[:n]
+}

@@ -1,0 +1,118 @@
+// Package stats provides the small statistical toolkit shared by the
+// trace-sampling machinery and the experiment harnesses: streaming
+// moments, confidence intervals, and relative error, following the
+// sampling methodology of Laha et al. (IEEE ToC 1988) used in the paper.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates streaming mean and variance (Welford's algorithm).
+type Sample struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (s *Sample) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty sample).
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance.
+func (s *Sample) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Sample) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the
+// mean, using the normal approximation (the paper's samples are n=50,
+// where t and z quantiles differ by under 3%).
+func (s *Sample) CI95() float64 { return 1.96 * s.StdErr() }
+
+// RelErr95 returns the 95% confidence half-width relative to the mean,
+// the "relative error" criterion of Laha and Martonosi: sampling is
+// adequate when this falls under 0.10.
+func (s *Sample) RelErr95() float64 {
+	if s.mean == 0 {
+		return 0
+	}
+	return math.Abs(s.CI95() / s.mean)
+}
+
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.5f sd=%.5f ci95=%.5f", s.n, s.Mean(), s.StdDev(), s.CI95())
+}
+
+// RelativeError returns |got-want|/want; it is 0 when want is 0 and got
+// is 0, and +Inf when want is 0 and got is not.
+func RelativeError(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the median of xs (0 for empty input). xs is not
+// modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}
+
+// Ratio returns num/den, or 0 when den is 0. It is the safe miss-ratio
+// helper used throughout the simulators.
+func Ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

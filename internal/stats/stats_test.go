@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleMoments(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	// Population variance of this classic set is 4; unbiased sample
+	// variance is 32/7.
+	if got := s.Variance(); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %g, want %g", got, 32.0/7.0)
+	}
+	if got := s.StdErr(); math.Abs(got-s.StdDev()/math.Sqrt(8)) > 1e-12 {
+		t.Errorf("StdErr = %g", got)
+	}
+}
+
+func TestSampleEmptyAndSingle(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Variance() != 0 || s.CI95() != 0 {
+		t.Error("empty sample should be all zeros")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.Variance() != 0 {
+		t.Error("single observation: mean 3, variance 0")
+	}
+}
+
+func TestRelErr95(t *testing.T) {
+	var s Sample
+	for i := 0; i < 100; i++ {
+		s.Add(10) // zero variance
+	}
+	if got := s.RelErr95(); got != 0 {
+		t.Errorf("RelErr95 of constant sample = %g, want 0", got)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(11, 10); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelativeError(11,10) = %g", got)
+	}
+	if got := RelativeError(0, 0); got != 0 {
+		t.Errorf("RelativeError(0,0) = %g", got)
+	}
+	if got := RelativeError(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("RelativeError(1,0) = %g, want +Inf", got)
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty slices should give 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Errorf("odd Median = %g", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even Median = %g", got)
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("Ratio with zero denominator should be 0")
+	}
+	if got := Ratio(3, 4); got != 0.75 {
+		t.Errorf("Ratio = %g", got)
+	}
+}
+
+// Property: streaming mean equals batch mean.
+func TestSampleQuickMeanAgreesWithBatch(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				clean = append(clean, x)
+			}
+		}
+		var s Sample
+		for _, x := range clean {
+			s.Add(x)
+		}
+		want := Mean(clean)
+		scale := math.Max(1, math.Abs(want))
+		return math.Abs(s.Mean()-want) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: variance is never negative and is zero for constant data.
+func TestSampleQuickVarianceNonNegative(t *testing.T) {
+	f := func(x float64, n uint8) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		var s Sample
+		for i := 0; i < int(n%50)+2; i++ {
+			s.Add(x)
+		}
+		return s.Variance() >= 0 && s.Variance() < 1e-6*math.Max(1, x*x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+// Package tapeworm implements kernel-based TLB simulation after Uhlig et
+// al.'s Tapeworm (CSE-TR-185-93, cited in the paper's methodology):
+// instead of processing a full address trace, the simulator is driven by
+// the *miss events* of the machine's managed TLB, and simulates any
+// number of alternative TLB configurations simultaneously.
+//
+// Correctness rests on the subset invariant: the hardware TLB's contents
+// are kept a subset of every simulated TLB's contents, so any reference
+// that would miss in a simulated TLB must also miss in the hardware TLB
+// and therefore generates a visible event. The invariant is maintained
+// actively: when a simulated TLB evicts an entry, that entry is
+// invalidated from the hardware TLB. Replacement in the simulated TLBs
+// is FIFO, because only miss events (not hit recency) are visible --
+// matching the original tool and close to the R2000's hardware random
+// replacement.
+//
+// This is what makes the paper's Figure 7 and Figure 8 sweeps cheap: one
+// workload run prices every TLB size and associativity at once.
+package tapeworm
+
+import (
+	"fmt"
+
+	"onchip/internal/tlb"
+	"onchip/internal/vm"
+)
+
+// Result holds the simulated service statistics for one configuration.
+type Result struct {
+	Config  tlb.Config
+	Service tlb.Service
+}
+
+// Seconds returns total simulated TLB service time at clockHz.
+func (r Result) Seconds(clockHz float64) float64 { return r.Service.Seconds(clockHz) }
+
+func (r Result) String() string {
+	return fmt.Sprintf("%v: misses=%d cycles=%d", r.Config.TLBConfig, r.Service.TotalMisses(), r.Service.TotalCycles())
+}
+
+// sim is one simulated TLB configuration.
+type sim struct {
+	tlb     *tlb.TLB
+	costs   tlb.CostModel
+	service tlb.Service
+}
+
+// Tapeworm drives a set of simulated TLB configurations from the miss
+// events of a hardware (machine) TLB.
+type Tapeworm struct {
+	hw   *tlb.Managed
+	sims []*sim
+}
+
+// Attach hooks a Tapeworm onto the machine's managed TLB and registers
+// the configurations to simulate. Each simulated TLB uses FIFO
+// replacement regardless of the configured policy (see package comment).
+func Attach(hw *tlb.Managed, configs ...tlb.Config) *Tapeworm {
+	tw := &Tapeworm{hw: hw}
+	for _, cfg := range configs {
+		cfg.Policy = tlb.FIFO
+		tw.sims = append(tw.sims, &sim{tlb: tlb.New(cfg), costs: hw.Costs()})
+	}
+	hw.OnMiss(tw.onMiss)
+	return tw
+}
+
+// onMiss processes one hardware miss event: configurations that also
+// miss record the event's service cost and insert the translation,
+// invalidating any victim from the hardware TLB to preserve the subset
+// invariant.
+func (tw *Tapeworm) onMiss(ev tlb.MissEvent) {
+	for _, s := range tw.sims {
+		if s.tlb.Contains(ev.Key) {
+			continue
+		}
+		s.record(ev)
+		if victim, evicted := s.tlb.Insert(ev.Key); evicted {
+			tw.hw.TLB().Invalidate(victim)
+		}
+	}
+}
+
+func (s *sim) record(ev tlb.MissEvent) {
+	s.service.Count[ev.Class]++
+	switch ev.Class {
+	case tlb.UserMiss:
+		s.service.Cycles[ev.Class] += s.costs.UserMissCycles
+	case tlb.KernelMiss:
+		s.service.Cycles[ev.Class] += s.costs.KernelMissCycles
+	}
+	if ev.FirstTouch {
+		s.service.Count[tlb.OtherMiss]++
+		s.service.Cycles[tlb.OtherMiss] += s.costs.OtherCycles
+	}
+}
+
+// ResetServices zeroes every simulated configuration's service counters
+// while keeping TLB contents: used to discard warm-up transients.
+func (tw *Tapeworm) ResetServices() {
+	for _, s := range tw.sims {
+		s.service = tlb.Service{}
+	}
+}
+
+// Results returns the per-configuration service statistics, in the order
+// the configurations were registered.
+func (tw *Tapeworm) Results() []Result {
+	rs := make([]Result, len(tw.sims))
+	for i, s := range tw.sims {
+		rs[i] = Result{Config: s.tlb.Config(), Service: s.service}
+	}
+	return rs
+}
+
+// Invariant verifies the hardware-subset property; it is exercised by
+// tests and available for debugging assertions.
+func (tw *Tapeworm) Invariant() error {
+	for _, s := range tw.sims {
+		for _, key := range tw.hwKeys() {
+			if !s.tlb.Contains(key) {
+				return fmt.Errorf("tapeworm: hardware entry %+v missing from simulated %v", key, s.tlb.Config().TLBConfig)
+			}
+		}
+	}
+	return nil
+}
+
+// hwKeys snapshots the hardware TLB's current keys.
+func (tw *Tapeworm) hwKeys() []vm.TransKey {
+	return tw.hw.TLB().Keys()
+}

@@ -1,0 +1,25 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+
+	"onchip/internal/vm"
+)
+
+func benchTranslate(b *testing.B, cfg Config) {
+	m := NewManaged(cfg, DefaultCosts())
+	rng := rand.New(rand.NewSource(1))
+	addrs := make([]uint32, 1<<14)
+	for i := range addrs {
+		addrs[i] = vm.UserTextBase + uint32(rng.Intn(200))*vm.PageSize
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Translate(addrs[i&(len(addrs)-1)], 1)
+	}
+}
+
+func BenchmarkTranslateR2000(b *testing.B)   { benchTranslate(b, R2000()) }
+func BenchmarkTranslate512x8(b *testing.B)   { benchTranslate(b, saCfg(512, 8, LRU)) }
+func BenchmarkTranslate512FIFO(b *testing.B) { benchTranslate(b, saCfg(512, 8, FIFO)) }

@@ -1,0 +1,213 @@
+package tlb
+
+import (
+	"fmt"
+
+	"onchip/internal/vm"
+)
+
+// CostModel gives the software miss-handling cost in CPU cycles for each
+// miss class. The defaults follow the paper: "miss penalties range from
+// about 20 cycles for misses on user pages to over 400 cycles for
+// kernel-space misses" on the R2000's software-managed TLB.
+type CostModel struct {
+	// UserMissCycles is the fast uTLB refill handler cost for a kuseg
+	// page whose PTE is reachable without a nested miss.
+	UserMissCycles uint64
+	// KernelMissCycles is the full kernel handler cost for a kseg2 miss
+	// (including page-table pages touched from the uTLB handler).
+	KernelMissCycles uint64
+	// OtherCycles is the service cost charged on the first touch of a
+	// page: page-fault and protection processing, the "Other" category
+	// of the paper's Figure 7. These misses are compulsory and no TLB
+	// sizing removes them.
+	OtherCycles uint64
+}
+
+// DefaultCosts returns the R2000-style cost model used throughout the
+// experiments.
+func DefaultCosts() CostModel {
+	return CostModel{UserMissCycles: 20, KernelMissCycles: 400, OtherCycles: 300}
+}
+
+// MissClass categorizes a TLB service event.
+type MissClass uint8
+
+const (
+	// UserMiss is a kuseg translation miss refilled by the uTLB handler.
+	UserMiss MissClass = iota
+	// KernelMiss is a kseg2 translation miss (page tables and mapped
+	// kernel data), served by the general exception path.
+	KernelMiss
+	// OtherMiss is first-touch page-fault/protection service.
+	OtherMiss
+	nMissClasses
+)
+
+func (c MissClass) String() string {
+	switch c {
+	case UserMiss:
+		return "user"
+	case KernelMiss:
+		return "kernel"
+	case OtherMiss:
+		return "other"
+	default:
+		return fmt.Sprintf("MissClass(%d)", uint8(c))
+	}
+}
+
+// Service accumulates miss counts and handler cycles by class.
+type Service struct {
+	Count  [nMissClasses]uint64
+	Cycles [nMissClasses]uint64
+}
+
+// TotalCycles returns the summed handler cycles across classes.
+func (s Service) TotalCycles() uint64 {
+	var t uint64
+	for _, c := range s.Cycles {
+		t += c
+	}
+	return t
+}
+
+// TotalMisses returns the summed miss counts across classes.
+func (s Service) TotalMisses() uint64 {
+	var t uint64
+	for _, c := range s.Count {
+		t += c
+	}
+	return t
+}
+
+// Seconds converts total handler cycles to seconds at clockHz.
+func (s Service) Seconds(clockHz float64) float64 {
+	return float64(s.TotalCycles()) / clockHz
+}
+
+// MissEvent describes one translation miss as seen by the hardware TLB;
+// Tapeworm subscribes to these to drive kernel-based simulation.
+type MissEvent struct {
+	Key   vm.TransKey
+	Class MissClass
+	// FirstTouch is set when this page had never been referenced
+	// before (a compulsory miss, charged OtherCycles on top of the
+	// refill cost).
+	FirstTouch bool
+}
+
+// Managed wraps a TLB with the R2000 software miss-handling model:
+// user-segment misses run the uTLB handler and load the PTE from the
+// linearly-mapped page table in kseg2, which may itself miss and charge
+// the kernel cost; kseg2 misses charge the kernel cost directly;
+// first-ever touches of a page additionally charge page-fault service.
+type Managed struct {
+	tlb     *TLB
+	costs   CostModel
+	service Service
+	touched map[vm.TransKey]struct{}
+	onMiss  []func(MissEvent)
+}
+
+// NewManaged builds a managed TLB over configuration cfg.
+func NewManaged(cfg Config, costs CostModel) *Managed {
+	return &Managed{
+		tlb:     New(cfg),
+		costs:   costs,
+		touched: make(map[vm.TransKey]struct{}),
+	}
+}
+
+// TLB exposes the underlying simulator (Tapeworm needs Invalidate and
+// Contains to maintain its subset invariant).
+func (m *Managed) TLB() *TLB { return m.tlb }
+
+// Service returns the accumulated service breakdown.
+func (m *Managed) Service() Service { return m.service }
+
+// Costs returns the cost model in use.
+func (m *Managed) Costs() CostModel { return m.costs }
+
+// OnMiss registers a hook invoked for every translation miss, including
+// nested page-table misses.
+func (m *Managed) OnMiss(f func(MissEvent)) { m.onMiss = append(m.onMiss, f) }
+
+// ResetService zeroes the service counters while keeping TLB contents
+// and first-touch tracking: used to discard warm-up transients before
+// measuring steady-state service rates.
+func (m *Managed) ResetService() { m.service = Service{} }
+
+// Reset clears TLB contents, counters, and first-touch tracking.
+func (m *Managed) Reset() {
+	m.tlb.Reset()
+	m.service = Service{}
+	m.touched = make(map[vm.TransKey]struct{})
+}
+
+// Translate services one reference to addr by asid and returns the stall
+// cycles spent in TLB miss handling (zero on a hit or for unmapped
+// segments). First-touch page-fault service (OtherCycles) is recorded in
+// the Service breakdown but not returned as a stall: the paper's Monster
+// CPI attribution counts only TLB refill handler time (page-fault service
+// is dominated by I/O and idle time, which the paper excludes), while
+// the Figure 7 service-time analysis reports the "Other" category
+// separately from the TLB-size-dependent misses.
+func (m *Managed) Translate(addr uint32, asid uint8) uint64 {
+	if !vm.Mapped(addr) {
+		return 0
+	}
+	key := vm.KeyFor(addr, asid)
+	if m.tlb.Probe(key) {
+		return 0
+	}
+
+	var cycles uint64
+	first := m.firstTouch(key)
+	if vm.SegmentOf(addr) == vm.KUseg {
+		// uTLB refill: load the PTE from the page table in kseg2.
+		cycles += m.costs.UserMissCycles
+		pteKey := vm.KeyFor(vm.PTEAddr(asid, vm.VPN(addr)), asid)
+		if !m.tlb.Probe(pteKey) {
+			// Nested kernel miss on the page-table page.
+			cycles += m.costs.KernelMissCycles
+			pteFirst := m.firstTouch(pteKey)
+			m.record(MissEvent{Key: pteKey, Class: KernelMiss, FirstTouch: pteFirst})
+			m.insert(pteKey)
+		}
+		m.record(MissEvent{Key: key, Class: UserMiss, FirstTouch: first})
+	} else {
+		cycles += m.costs.KernelMissCycles
+		m.record(MissEvent{Key: key, Class: KernelMiss, FirstTouch: first})
+	}
+	m.insert(key)
+	return cycles
+}
+
+func (m *Managed) firstTouch(key vm.TransKey) bool {
+	if _, ok := m.touched[key]; ok {
+		return false
+	}
+	m.touched[key] = struct{}{}
+	return true
+}
+
+func (m *Managed) insert(key vm.TransKey) { m.tlb.Insert(key) }
+
+func (m *Managed) record(ev MissEvent) {
+	class := ev.Class
+	m.service.Count[class]++
+	switch class {
+	case UserMiss:
+		m.service.Cycles[class] += m.costs.UserMissCycles
+	case KernelMiss:
+		m.service.Cycles[class] += m.costs.KernelMissCycles
+	}
+	if ev.FirstTouch {
+		m.service.Count[OtherMiss]++
+		m.service.Cycles[OtherMiss] += m.costs.OtherCycles
+	}
+	for _, f := range m.onMiss {
+		f(ev)
+	}
+}

@@ -1,0 +1,182 @@
+package tlb
+
+import (
+	"testing"
+
+	"onchip/internal/vm"
+)
+
+func newManaged(entries int) *Managed {
+	return NewManaged(faCfg(entries), DefaultCosts())
+}
+
+func TestUnmappedSegmentsBypassTLB(t *testing.T) {
+	m := newManaged(64)
+	if c := m.Translate(0x80001000, 0); c != 0 {
+		t.Errorf("kseg0 cost = %d, want 0", c)
+	}
+	if c := m.Translate(0xa0001000, 0); c != 0 {
+		t.Errorf("kseg1 cost = %d, want 0", c)
+	}
+	if m.TLB().Stats().Probes != 0 {
+		t.Error("unmapped references must not probe the TLB")
+	}
+}
+
+func TestUserMissChainsToPageTable(t *testing.T) {
+	m := newManaged(64)
+	costs := m.Costs()
+	// First user touch: user refill + nested kernel miss on the PTE
+	// page + two first-touch (page fault) charges (data page and
+	// page-table page).
+	c := m.Translate(vm.UserTextBase, 1)
+	want := costs.UserMissCycles + costs.KernelMissCycles
+	if c != want {
+		t.Errorf("first-touch user miss cost = %d, want %d", c, want)
+	}
+	// Same page again: hit, free.
+	if c := m.Translate(vm.UserTextBase, 1); c != 0 {
+		t.Errorf("hit cost = %d, want 0", c)
+	}
+	// A neighboring page shares the PTE page: user refill + page fault
+	// only, no nested kernel miss.
+	c = m.Translate(vm.UserTextBase+vm.PageSize, 1)
+	want = costs.UserMissCycles
+	if c != want {
+		t.Errorf("neighbor page miss cost = %d, want %d", c, want)
+	}
+}
+
+func TestKseg2MissCost(t *testing.T) {
+	m := newManaged(64)
+	costs := m.Costs()
+	c := m.Translate(vm.Kseg2Base+0x5000, 0)
+	if want := costs.KernelMissCycles; c != want {
+		t.Errorf("kseg2 first miss cost = %d, want %d", c, want)
+	}
+	if c := m.Translate(vm.Kseg2Base+0x5000, 0); c != 0 {
+		t.Errorf("kseg2 hit cost = %d, want 0", c)
+	}
+}
+
+func TestServiceBreakdown(t *testing.T) {
+	m := newManaged(64)
+	m.Translate(vm.UserTextBase, 1)        // user + nested kernel + 2 other
+	m.Translate(vm.UserTextBase+0x1000, 1) // user + other
+	m.Translate(vm.Kseg2Base, 0)           // kernel + other
+	s := m.Service()
+	if s.Count[UserMiss] != 2 {
+		t.Errorf("user misses = %d, want 2", s.Count[UserMiss])
+	}
+	if s.Count[KernelMiss] != 2 {
+		t.Errorf("kernel misses = %d, want 2 (PTE page + kseg2)", s.Count[KernelMiss])
+	}
+	if s.Count[OtherMiss] != 4 {
+		t.Errorf("other (first-touch) = %d, want 4", s.Count[OtherMiss])
+	}
+	costs := m.Costs()
+	wantCycles := 2*costs.UserMissCycles + 2*costs.KernelMissCycles + 4*costs.OtherCycles
+	if s.TotalCycles() != wantCycles {
+		t.Errorf("total cycles = %d, want %d", s.TotalCycles(), wantCycles)
+	}
+	if s.TotalMisses() != 8 {
+		t.Errorf("total misses = %d, want 8", s.TotalMisses())
+	}
+	if sec := s.Seconds(1e6); sec != float64(wantCycles)/1e6 {
+		t.Errorf("Seconds = %g", sec)
+	}
+}
+
+func TestRevisitedPageIsNotFirstTouch(t *testing.T) {
+	// A page evicted from a tiny TLB and revisited misses again, but
+	// must not be charged page-fault service twice.
+	m := newManaged(2)
+	a := uint32(vm.UserTextBase)
+	b := uint32(vm.UserTextBase + 0x100000) // different PTE page region? same asid
+	m.Translate(a, 1)
+	// Fill the 2-entry TLB with unrelated pages to evict a.
+	for i := uint32(0); i < 4; i++ {
+		m.Translate(b+i*vm.PageSize, 1)
+	}
+	before := m.Service().Count[OtherMiss]
+	m.Translate(a, 1) // miss again, but not first touch
+	after := m.Service()
+	if after.Count[OtherMiss] != before {
+		t.Errorf("revisit charged page fault: other %d -> %d", before, after.Count[OtherMiss])
+	}
+	if after.Count[UserMiss] == 0 {
+		t.Error("revisit should still be a user miss")
+	}
+}
+
+func TestOnMissHook(t *testing.T) {
+	m := newManaged(64)
+	var events []MissEvent
+	m.OnMiss(func(ev MissEvent) { events = append(events, ev) })
+	m.Translate(vm.UserTextBase, 3)
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2 (PTE page + user page)", len(events))
+	}
+	// The nested PTE-page miss fires first (the handler touches the
+	// page table before completing the user refill).
+	if events[0].Class != KernelMiss || events[1].Class != UserMiss {
+		t.Errorf("event classes = %v, %v", events[0].Class, events[1].Class)
+	}
+	if !events[0].FirstTouch || !events[1].FirstTouch {
+		t.Error("both events should be first touches")
+	}
+	if events[1].Key != vm.KeyFor(vm.UserTextBase, 3) {
+		t.Errorf("user event key = %+v", events[1].Key)
+	}
+}
+
+func TestLargerTLBReducesServiceTime(t *testing.T) {
+	run := func(entries int) uint64 {
+		m := newManaged(entries)
+		// Cycle through 96 user pages repeatedly: thrashes 64 entries
+		// (plus PTE pages), fits easily in 512.
+		for round := 0; round < 20; round++ {
+			for p := uint32(0); p < 96; p++ {
+				m.Translate(vm.UserTextBase+p*vm.PageSize, 1)
+			}
+		}
+		return m.Service().TotalCycles()
+	}
+	small, big := run(64), run(512)
+	if big >= small {
+		t.Errorf("512-entry TLB service %d >= 64-entry %d", big, small)
+	}
+	// The large TLB should be compulsory-dominated: its misses are
+	// almost all first touches.
+	m := newManaged(512)
+	for round := 0; round < 20; round++ {
+		for p := uint32(0); p < 96; p++ {
+			m.Translate(vm.UserTextBase+p*vm.PageSize, 1)
+		}
+	}
+	s := m.Service()
+	if s.Count[UserMiss] != 96 {
+		t.Errorf("512-entry TLB user misses = %d, want 96 (compulsory only)", s.Count[UserMiss])
+	}
+}
+
+func TestMissClassString(t *testing.T) {
+	if UserMiss.String() != "user" || KernelMiss.String() != "kernel" || OtherMiss.String() != "other" {
+		t.Error("class strings wrong")
+	}
+}
+
+func TestManagedReset(t *testing.T) {
+	m := newManaged(64)
+	m.Translate(vm.UserTextBase, 1)
+	m.Reset()
+	if m.Service().TotalMisses() != 0 || m.TLB().Len() != 0 {
+		t.Error("Reset did not clear state")
+	}
+	// After reset, the same page is a first touch again.
+	c := m.Translate(vm.UserTextBase, 1)
+	costs := m.Costs()
+	if want := costs.UserMissCycles + costs.KernelMissCycles; c != want {
+		t.Errorf("post-reset cost = %d, want %d", c, want)
+	}
+}

@@ -1,0 +1,224 @@
+// Package tlb implements a software-managed TLB simulator in the style
+// of the MIPS R2000, the platform of the paper's measurements. On the
+// R2000 every TLB miss traps to a software handler, so misses have
+// strongly bimodal cost: a user-segment miss runs the fast uTLB refill
+// handler (~20 cycles), while a kernel-segment (kseg2) miss -- most often
+// a miss on a page-table page taken from inside the uTLB handler --
+// costs hundreds of cycles. The Managed type models this chain
+// explicitly: a user miss loads its PTE from the linearly-mapped page
+// table in kseg2, and that load can itself miss in the TLB, charging the
+// kernel-miss cost and inserting the page-table page's translation.
+// This mechanism, together with the extra address spaces of a
+// multiple-API system, is what drives the paper's Mach TLB results.
+package tlb
+
+import (
+	"fmt"
+
+	"onchip/internal/area"
+	"onchip/internal/vm"
+)
+
+// Policy selects the replacement policy.
+type Policy uint8
+
+const (
+	// LRU is true least-recently-used replacement, usable in
+	// trace-driven simulation where every access is visible.
+	LRU Policy = iota
+	// FIFO replaces in insertion order. Kernel-based (Tapeworm)
+	// simulation uses FIFO because only miss events are visible, so
+	// hit recency cannot be tracked; it is also close to the R2000's
+	// hardware random replacement in behaviour.
+	FIFO
+)
+
+func (p Policy) String() string {
+	if p == FIFO {
+		return "FIFO"
+	}
+	return "LRU"
+}
+
+// Config describes a TLB to simulate.
+type Config struct {
+	area.TLBConfig
+	Policy Policy
+}
+
+// R2000 returns the hardware TLB configuration of the MIPS R2000 as used
+// in the DECstation 3100: 64 entries, fully associative.
+func R2000() Config {
+	return Config{TLBConfig: area.TLBConfig{Entries: 64, Assoc: area.FullyAssociative}}
+}
+
+// Stats holds probe counters.
+type Stats struct {
+	Probes uint64
+	Misses uint64
+}
+
+// MissRatio returns misses per probe.
+func (s Stats) MissRatio() float64 {
+	if s.Probes == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Probes)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("probes=%d misses=%d ratio=%.5f", s.Probes, s.Misses, s.MissRatio())
+}
+
+// entry is one TLB slot; order within a set encodes recency (LRU) or
+// insertion order (FIFO), most recent first.
+type entry struct {
+	key   vm.TransKey
+	valid bool
+}
+
+// TLB is the core simulator. It supports probe, insert with victim
+// report, and invalidation -- the operations needed both for direct
+// trace-driven use and for Tapeworm-style kernel-based simulation.
+type TLB struct {
+	cfg   Config
+	sets  [][]entry
+	index map[vm.TransKey]int // present keys -> set, for O(1) FA probes
+	stats Stats
+}
+
+// New builds a TLB simulator; it panics on invalid configurations.
+func New(cfg Config) *TLB {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	assoc := cfg.Assoc
+	if assoc == area.FullyAssociative {
+		assoc = cfg.Entries
+	}
+	nsets := cfg.Entries / assoc
+	sets := make([][]entry, nsets)
+	for i := range sets {
+		sets[i] = make([]entry, 0, assoc)
+	}
+	return &TLB{cfg: cfg, sets: sets, index: make(map[vm.TransKey]int, cfg.Entries)}
+}
+
+// Config returns the simulated configuration.
+func (t *TLB) Config() Config { return t.cfg }
+
+// Stats returns probe counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// Reset clears contents and counters.
+func (t *TLB) Reset() {
+	for i := range t.sets {
+		t.sets[i] = t.sets[i][:0]
+	}
+	t.index = make(map[vm.TransKey]int, t.cfg.Entries)
+	t.stats = Stats{}
+}
+
+func (t *TLB) setFor(key vm.TransKey) int {
+	if len(t.sets) == 1 {
+		return 0
+	}
+	return int(key.VPN) & (len(t.sets) - 1)
+}
+
+// Probe looks key up, updating recency under LRU, and reports a hit.
+func (t *TLB) Probe(key vm.TransKey) bool {
+	t.stats.Probes++
+	si, ok := t.index[key]
+	if !ok {
+		t.stats.Misses++
+		return false
+	}
+	if t.cfg.Policy == LRU {
+		set := t.sets[si]
+		for i := range set {
+			if set[i].key == key {
+				e := set[i]
+				copy(set[1:i+1], set[:i])
+				set[0] = e
+				break
+			}
+		}
+	}
+	return true
+}
+
+// Contains reports presence without updating recency or counters.
+func (t *TLB) Contains(key vm.TransKey) bool {
+	_, ok := t.index[key]
+	return ok
+}
+
+// Insert adds key, returning the evicted victim if the set was full.
+// Inserting a present key only refreshes its recency.
+func (t *TLB) Insert(key vm.TransKey) (victim vm.TransKey, evicted bool) {
+	si := t.setFor(key)
+	if _, ok := t.index[key]; ok {
+		if t.cfg.Policy == LRU {
+			t.touch(si, key)
+		}
+		return vm.TransKey{}, false
+	}
+	set := t.sets[si]
+	assoc := cap(set)
+	if len(set) == assoc {
+		victim = set[len(set)-1].key
+		evicted = true
+		delete(t.index, victim)
+		set = set[:len(set)-1]
+	}
+	set = append(set, entry{})
+	copy(set[1:], set[:len(set)-1])
+	set[0] = entry{key: key, valid: true}
+	t.sets[si] = set
+	t.index[key] = si
+	return victim, evicted
+}
+
+func (t *TLB) touch(si int, key vm.TransKey) {
+	set := t.sets[si]
+	for i := range set {
+		if set[i].key == key {
+			e := set[i]
+			copy(set[1:i+1], set[:i])
+			set[0] = e
+			return
+		}
+	}
+}
+
+// Invalidate removes key if present, reporting whether it was.
+// Tapeworm uses this to maintain the hardware-subset invariant.
+func (t *TLB) Invalidate(key vm.TransKey) bool {
+	si, ok := t.index[key]
+	if !ok {
+		return false
+	}
+	delete(t.index, key)
+	set := t.sets[si]
+	for i := range set {
+		if set[i].key == key {
+			t.sets[si] = append(set[:i], set[i+1:]...)
+			return true
+		}
+	}
+	return true
+}
+
+// Len returns the number of valid entries currently held.
+func (t *TLB) Len() int { return len(t.index) }
+
+// Keys snapshots the currently resident translation keys (in no
+// particular order). Tapeworm uses this to audit its subset invariant.
+func (t *TLB) Keys() []vm.TransKey {
+	keys := make([]vm.TransKey, 0, len(t.index))
+	for k := range t.index {
+		keys = append(keys, k)
+	}
+	return keys
+}

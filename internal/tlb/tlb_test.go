@@ -1,0 +1,215 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"onchip/internal/area"
+	"onchip/internal/vm"
+)
+
+func faCfg(entries int) Config {
+	return Config{TLBConfig: area.TLBConfig{Entries: entries, Assoc: area.FullyAssociative}}
+}
+
+func saCfg(entries, assoc int, p Policy) Config {
+	return Config{TLBConfig: area.TLBConfig{Entries: entries, Assoc: assoc}, Policy: p}
+}
+
+func key(vpn uint32, asid uint8) vm.TransKey { return vm.TransKey{VPN: vpn, ASID: asid} }
+
+func TestProbeInsertBasics(t *testing.T) {
+	tl := New(faCfg(4))
+	k := key(0x400, 1)
+	if tl.Probe(k) {
+		t.Error("cold TLB must miss")
+	}
+	tl.Insert(k)
+	if !tl.Probe(k) {
+		t.Error("inserted key must hit")
+	}
+	s := tl.Stats()
+	if s.Probes != 2 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if tl.Len() != 1 {
+		t.Errorf("Len = %d", tl.Len())
+	}
+}
+
+func TestEvictionLRU(t *testing.T) {
+	tl := New(saCfg(2, 2, LRU))
+	// One set of two ways: keys with any VPN land in set 0.
+	a, b, c := key(0, 1), key(2, 1), key(4, 1)
+	tl.Insert(a)
+	tl.Insert(b)
+	tl.Probe(a) // a becomes MRU
+	victim, evicted := tl.Insert(c)
+	if !evicted || victim != b {
+		t.Errorf("victim = %v (evicted=%v), want %v", victim, evicted, b)
+	}
+	if !tl.Contains(a) || tl.Contains(b) || !tl.Contains(c) {
+		t.Error("wrong survivor set after LRU eviction")
+	}
+}
+
+func TestEvictionFIFO(t *testing.T) {
+	tl := New(saCfg(2, 2, FIFO))
+	a, b, c := key(0, 1), key(2, 1), key(4, 1)
+	tl.Insert(a)
+	tl.Insert(b)
+	tl.Probe(a) // FIFO ignores recency
+	victim, evicted := tl.Insert(c)
+	if !evicted || victim != a {
+		t.Errorf("victim = %v (evicted=%v), want %v (insertion order)", victim, evicted, a)
+	}
+}
+
+func TestInsertExistingRefreshes(t *testing.T) {
+	tl := New(saCfg(2, 2, LRU))
+	a, b, c := key(0, 1), key(2, 1), key(4, 1)
+	tl.Insert(a)
+	tl.Insert(b)
+	if _, evicted := tl.Insert(a); evicted {
+		t.Error("re-inserting a present key must not evict")
+	}
+	// a was refreshed, so b is now LRU.
+	victim, _ := tl.Insert(c)
+	if victim != b {
+		t.Errorf("victim = %v, want %v", victim, b)
+	}
+	if tl.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tl.Len())
+	}
+}
+
+func TestSetIndexing(t *testing.T) {
+	tl := New(saCfg(4, 1, LRU)) // 4 direct-mapped sets
+	// VPNs 0..3 map to distinct sets; all four fit simultaneously.
+	for v := uint32(0); v < 4; v++ {
+		tl.Insert(key(v, 1))
+	}
+	for v := uint32(0); v < 4; v++ {
+		if !tl.Contains(key(v, 1)) {
+			t.Errorf("VPN %d missing from direct-mapped TLB", v)
+		}
+	}
+	// VPN 4 conflicts with VPN 0.
+	tl.Insert(key(4, 1))
+	if tl.Contains(key(0, 1)) {
+		t.Error("direct-mapped conflict must evict")
+	}
+}
+
+func TestASIDsDistinguished(t *testing.T) {
+	tl := New(faCfg(4))
+	tl.Insert(key(0x400, 1))
+	if tl.Probe(key(0x400, 2)) {
+		t.Error("same VPN under different ASID must miss")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	tl := New(faCfg(4))
+	k := key(7, 1)
+	tl.Insert(k)
+	if !tl.Invalidate(k) {
+		t.Error("Invalidate of present key must report true")
+	}
+	if tl.Invalidate(k) {
+		t.Error("Invalidate of absent key must report false")
+	}
+	if tl.Probe(k) {
+		t.Error("invalidated key must miss")
+	}
+}
+
+func TestReset(t *testing.T) {
+	tl := New(faCfg(4))
+	tl.Insert(key(1, 1))
+	tl.Probe(key(1, 1))
+	tl.Reset()
+	if tl.Len() != 0 || tl.Stats().Probes != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestR2000Config(t *testing.T) {
+	c := R2000()
+	if c.Entries != 64 || c.Assoc != area.FullyAssociative {
+		t.Errorf("R2000() = %+v", c)
+	}
+}
+
+// Inclusion: a larger fully-associative LRU TLB never misses more often.
+func TestFAInclusion(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	small := New(faCfg(16))
+	big := New(faCfg(64))
+	miss := func(tl *TLB, k vm.TransKey) bool {
+		if tl.Probe(k) {
+			return false
+		}
+		tl.Insert(k)
+		return true
+	}
+	var sm, bm int
+	for i := 0; i < 20000; i++ {
+		k := key(uint32(rng.Intn(200)), 1)
+		if miss(small, k) {
+			sm++
+		}
+		if miss(big, k) {
+			bm++
+		}
+	}
+	if bm > sm {
+		t.Errorf("inclusion violated: big TLB missed %d > small %d", bm, sm)
+	}
+}
+
+// Property: Len never exceeds capacity, and a just-inserted key always
+// probes as a hit.
+func TestQuickCapacityAndPresence(t *testing.T) {
+	f := func(seed int64, n uint16, assocExp, entExp uint8) bool {
+		entries := 1 << (2 + entExp%5) // 4..64
+		assoc := 1 << (assocExp % 3)   // 1..4
+		if assoc > entries {
+			return true
+		}
+		tl := New(saCfg(entries, assoc, LRU))
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < int(n%500); i++ {
+			k := key(uint32(rng.Intn(1000)), uint8(rng.Intn(3)))
+			if !tl.Probe(k) {
+				tl.Insert(k)
+				if !tl.Contains(k) {
+					return false
+				}
+			}
+			if tl.Len() > entries {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "LRU" || FIFO.String() != "FIFO" {
+		t.Error("policy strings wrong")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(saCfg(48, 1, LRU))
+}

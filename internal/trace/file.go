@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The binary trace format is a fixed 16-byte header followed by 8-byte
+// little-endian records:
+//
+//	header:  magic "OCTR" | version u16 | reserved u16 | count u64
+//	record:  addr u32 | asid u8 | kind u8 | mode u8 | reserved u8
+//
+// count may be zero when the writer did not know the record count in
+// advance (streaming); readers then read until EOF.
+
+const (
+	fileMagic   = "OCTR"
+	fileVersion = 1
+	headerSize  = 16
+	recordSize  = 8
+)
+
+// ErrBadFormat is returned when a trace file header or record is
+// malformed.
+var ErrBadFormat = errors.New("trace: bad file format")
+
+// Writer streams references to an io.Writer in the binary trace format.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+	err   error
+}
+
+// NewWriter writes a trace header and returns a Writer. Call Flush when
+// done.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [headerSize]byte
+	copy(hdr[:4], fileMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], fileVersion)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Ref implements Sink. Write errors are sticky and reported by Flush.
+func (w *Writer) Ref(r Ref) {
+	if w.err != nil {
+		return
+	}
+	var rec [recordSize]byte
+	binary.LittleEndian.PutUint32(rec[0:4], r.Addr)
+	rec[4] = r.ASID
+	rec[5] = byte(r.Kind)
+	rec[6] = byte(r.Mode)
+	if _, err := w.w.Write(rec[:]); err != nil {
+		w.err = err
+		return
+	}
+	w.count++
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush flushes buffered records and returns the first error encountered
+// while writing.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return fmt.Errorf("trace: write failed: %w", w.err)
+	}
+	return w.w.Flush()
+}
+
+// Reader reads references from a binary trace stream.
+type Reader struct {
+	r    *bufio.Reader
+	read uint64
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr[:4]) != fileMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != fileVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read returns the next reference, or io.EOF at end of stream.
+func (r *Reader) Read() (Ref, error) {
+	var rec [recordSize]byte
+	if _, err := io.ReadFull(r.r, rec[:]); err != nil {
+		if err == io.EOF {
+			return Ref{}, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Ref{}, fmt.Errorf("%w: truncated record after %d records", ErrBadFormat, r.read)
+		}
+		return Ref{}, fmt.Errorf("trace: reading record: %w", err)
+	}
+	r.read++
+	if k := Kind(rec[5]); k > Store {
+		return Ref{}, fmt.Errorf("%w: invalid kind %d in record %d", ErrBadFormat, rec[5], r.read)
+	}
+	if m := Mode(rec[6]); m > Kernel {
+		return Ref{}, fmt.Errorf("%w: invalid mode %d in record %d", ErrBadFormat, rec[6], r.read)
+	}
+	return Ref{
+		Addr: binary.LittleEndian.Uint32(rec[0:4]),
+		ASID: rec[4],
+		Kind: Kind(rec[5]),
+		Mode: Mode(rec[6]),
+	}, nil
+}
+
+// Drain feeds every remaining reference to sink and returns the number
+// delivered.
+func (r *Reader) Drain(sink Sink) (uint64, error) {
+	var n uint64
+	for {
+		ref, err := r.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		sink.Ref(ref)
+		n++
+	}
+}

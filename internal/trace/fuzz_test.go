@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace reader: it must never
+// panic, and every record it does return must be well-formed.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid two-record trace and some corruptions of it.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Ref(Ref{Addr: 0x00400000, ASID: 1, Kind: IFetch, Mode: User})
+	w.Ref(Ref{Addr: 0xc0000000, ASID: 0, Kind: Store, Mode: Kernel})
+	_ = w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte("OCTR"))
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), valid...)
+	corrupt[21] = 0xff
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			ref, err := r.Read()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if ref.Kind > Store || ref.Mode > Kernel {
+				t.Fatalf("reader returned malformed record: %+v", ref)
+			}
+		}
+	})
+}

@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindAndModeStrings(t *testing.T) {
+	if IFetch.String() != "ifetch" || Load.String() != "load" || Store.String() != "store" {
+		t.Error("kind strings wrong")
+	}
+	if User.String() != "user" || Kernel.String() != "kernel" {
+		t.Error("mode strings wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Errorf("unknown kind string = %q", Kind(9).String())
+	}
+}
+
+func TestRefData(t *testing.T) {
+	if (Ref{Kind: IFetch}).Data() {
+		t.Error("ifetch should not be data")
+	}
+	if !(Ref{Kind: Load}).Data() || !(Ref{Kind: Store}).Data() {
+		t.Error("load/store should be data")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	refs := []Ref{
+		{Kind: IFetch, Mode: User},
+		{Kind: IFetch, Mode: Kernel},
+		{Kind: Load, Mode: User},
+		{Kind: Store, Mode: Kernel},
+	}
+	for _, r := range refs {
+		c.Ref(r)
+	}
+	if c.Total != 4 || c.Instructions() != 2 {
+		t.Errorf("total=%d instructions=%d, want 4, 2", c.Total, c.Instructions())
+	}
+	if c.ByMode[User] != 2 || c.ByMode[Kernel] != 2 {
+		t.Errorf("mode counts = %v", c.ByMode)
+	}
+	if c.ByKind[Load] != 1 || c.ByKind[Store] != 1 {
+		t.Errorf("kind counts = %v", c.ByKind)
+	}
+}
+
+func TestTeeAndFilter(t *testing.T) {
+	var a, b Counter
+	tee := Tee{&a, Filter{Keep: func(r Ref) bool { return r.Kind == IFetch }, Next: &b}}
+	tee.Ref(Ref{Kind: IFetch})
+	tee.Ref(Ref{Kind: Load})
+	if a.Total != 2 {
+		t.Errorf("first sink total = %d, want 2", a.Total)
+	}
+	if b.Total != 1 || b.ByKind[IFetch] != 1 {
+		t.Errorf("filtered sink total = %d, want 1 ifetch", b.Total)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	refs := []Ref{
+		{Addr: 0x00400000, ASID: 1, Kind: IFetch, Mode: User},
+		{Addr: 0x80001234, ASID: 0, Kind: Load, Mode: Kernel},
+		{Addr: 0x7fffeff0, ASID: 42, Kind: Store, Mode: User},
+		{Addr: 0xffffffff, ASID: 255, Kind: IFetch, Mode: Kernel},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range refs {
+		w.Ref(r)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(refs)) {
+		t.Errorf("writer count = %d, want %d", w.Count(), len(refs))
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range refs {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("record %d = %v, want %v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("after last record: err = %v, want io.EOF", err)
+	}
+}
+
+func TestFileDrain(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 100; i++ {
+		w.Ref(Ref{Addr: uint32(i * 4), Kind: IFetch})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Counter
+	n, err := r.Drain(&c)
+	if err != nil || n != 100 || c.Total != 100 {
+		t.Errorf("Drain = (%d, %v), counter %d; want 100", n, err, c.Total)
+	}
+}
+
+func TestReaderRejectsBadInput(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       nil,
+		"bad magic":   []byte("NOPE000000000000"),
+		"bad version": append([]byte("OCTR\x09\x00"), make([]byte, 10)...),
+	}
+	for name, data := range cases {
+		if _, err := NewReader(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: NewReader succeeded, want error", name)
+		}
+	}
+}
+
+func TestReaderRejectsTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Ref(Ref{Addr: 4})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("truncated record: err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestReaderRejectsBadKindMode(t *testing.T) {
+	mk := func(kind, mode byte) []byte {
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		w.Ref(Ref{})
+		_ = w.Flush()
+		data := buf.Bytes()
+		data[16+5] = kind
+		data[16+6] = mode
+		return data
+	}
+	for _, d := range [][]byte{mk(7, 0), mk(0, 9)} {
+		r, err := NewReader(bytes.NewReader(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Read(); !errors.Is(err, ErrBadFormat) {
+			t.Errorf("corrupt record: err = %v, want ErrBadFormat", err)
+		}
+	}
+}
+
+// Property: any Ref round-trips through the binary format.
+func TestFileQuickRoundTrip(t *testing.T) {
+	f := func(addr uint32, asid uint8, kindRaw, modeRaw uint8) bool {
+		want := Ref{Addr: addr, ASID: asid, Kind: Kind(kindRaw % 3), Mode: Mode(modeRaw % 2)}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		w.Ref(want)
+		if w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := r.Read()
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package vm models the virtual-memory substrate of a MIPS R2000-class
+// machine as used by the DECstation 3100: a 32-bit virtual address space
+// split into the classic MIPS segments, 4-KB pages, address-space
+// identifiers (ASIDs), and linearly-mapped page tables in kseg2.
+//
+// The segment layout drives the TLB cost model: kuseg references are
+// mapped and translated per-ASID, kseg0/kseg1 are unmapped kernel
+// segments that bypass the TLB entirely (Ultrix and Mach both run their
+// kernels there), and kseg2 holds mapped kernel data -- most importantly
+// the page tables themselves, whose TLB misses are the expensive
+// kernel-level misses (hundreds of cycles) described in the paper and in
+// Nagle et al., "Design tradeoffs for software-managed TLBs" (ISCA 1993).
+package vm
+
+import "fmt"
+
+// Page geometry: 4-KB pages as on the R2000.
+const (
+	PageBits = 12
+	PageSize = 1 << PageBits
+)
+
+// MIPS R2000 segment boundaries.
+const (
+	KUsegEnd   = 0x80000000 // [0, KUsegEnd): mapped user space
+	Kseg0Base  = 0x80000000 // unmapped, cached kernel
+	Kseg1Base  = 0xa0000000 // unmapped, uncached kernel
+	Kseg2Base  = 0xc0000000 // mapped kernel
+	Kseg0Limit = 0xa0000000
+	Kseg1Limit = 0xc0000000
+)
+
+// Conventional user address-space layout (matches the MIPS/Ultrix ABI).
+const (
+	UserTextBase  = 0x00400000
+	UserDataBase  = 0x10000000
+	UserStackTop  = 0x7fff0000
+	EmulatorBase  = 0x70000000 // Mach emulation library mapping
+	SharedMapBase = 0x60000000 // shared VM windows (Mach out-of-line data)
+)
+
+// Segment classifies a virtual address.
+type Segment uint8
+
+const (
+	// KUseg is the mapped, per-process user segment.
+	KUseg Segment = iota
+	// Kseg0 is the unmapped cached kernel segment.
+	Kseg0
+	// Kseg1 is the unmapped uncached kernel segment.
+	Kseg1
+	// Kseg2 is the mapped kernel segment.
+	Kseg2
+)
+
+func (s Segment) String() string {
+	switch s {
+	case KUseg:
+		return "kuseg"
+	case Kseg0:
+		return "kseg0"
+	case Kseg1:
+		return "kseg1"
+	case Kseg2:
+		return "kseg2"
+	default:
+		return fmt.Sprintf("Segment(%d)", uint8(s))
+	}
+}
+
+// SegmentOf returns the segment containing addr.
+func SegmentOf(addr uint32) Segment {
+	switch {
+	case addr < KUsegEnd:
+		return KUseg
+	case addr < Kseg0Limit:
+		return Kseg0
+	case addr < Kseg1Limit:
+		return Kseg1
+	default:
+		return Kseg2
+	}
+}
+
+// Mapped reports whether addr is translated through the TLB.
+func Mapped(addr uint32) bool {
+	s := SegmentOf(addr)
+	return s == KUseg || s == Kseg2
+}
+
+// KernelAddr reports whether addr lies in any kernel segment.
+func KernelAddr(addr uint32) bool { return addr >= KUsegEnd }
+
+// VPN returns the virtual page number of addr.
+func VPN(addr uint32) uint32 { return addr >> PageBits }
+
+// PageOffset returns the offset of addr within its page.
+func PageOffset(addr uint32) uint32 { return addr & (PageSize - 1) }
+
+// PageBase returns the base address of the page containing addr.
+func PageBase(addr uint32) uint32 { return addr &^ (PageSize - 1) }
+
+// Global reports whether a page is shared by all address spaces (kernel
+// segments ignore the ASID).
+func Global(addr uint32) bool { return KernelAddr(addr) }
+
+// TransKey identifies a translation: the VPN, qualified by ASID for
+// non-global pages. It is the lookup key for TLB simulation.
+type TransKey struct {
+	VPN  uint32
+	ASID uint8 // 0 is a valid ASID; Global pages store 0 here
+}
+
+// KeyFor builds the translation key for a reference address and ASID.
+func KeyFor(addr uint32, asid uint8) TransKey {
+	if Global(addr) {
+		return TransKey{VPN: VPN(addr)}
+	}
+	return TransKey{VPN: VPN(addr), ASID: asid}
+}
+
+// Page tables are linearly mapped in kseg2, one 4-MB slot per ASID:
+// PTE for (asid, vpn) lives at PageTableBase + asid*PageTableSpan + vpn*4.
+// A TLB miss on a user page therefore requires a load from kseg2, which
+// can itself miss in the TLB -- the "kernel miss" costing hundreds of
+// cycles in the R2000 software-managed-TLB cost model.
+const (
+	PageTableBase = Kseg2Base
+	PageTableSpan = 4 << 20 // 2^20 PTEs x 4 bytes
+	pteSize       = 4
+)
+
+// PTEAddr returns the kseg2 virtual address of the page-table entry that
+// maps (asid, vpn).
+func PTEAddr(asid uint8, vpn uint32) uint32 {
+	return PageTableBase + uint32(asid)*PageTableSpan + vpn*pteSize
+}
+
+// CacheKey maps an address and ASID to the 64-bit "physical" address key
+// used by the cache simulators. The DECstation's caches are physically
+// indexed and tagged, so distinct processes neither alias nor
+// pathologically conflict: their pages land on effectively random page
+// frames. We model that by hashing (ASID, VPN) into a synthetic page
+// frame -- deterministic, so runs are repeatable -- and keeping the page
+// offset, which preserves spatial locality within pages (cache lines
+// never span pages). Unmapped kseg0/kseg1 addresses translate directly
+// to low physical memory, as on the real MIPS.
+func CacheKey(addr uint32, asid uint8) uint64 {
+	switch SegmentOf(addr) {
+	case Kseg0:
+		return uint64(addr - Kseg0Base)
+	case Kseg1:
+		return uint64(addr - Kseg1Base)
+	case Kseg2:
+		// Mapped kernel pages are shared (ASID-independent) but
+		// physically scattered like any mapped page.
+		return 1<<44 | framehash(0, VPN(addr))<<PageBits | uint64(PageOffset(addr))
+	default:
+		return 1<<44 | framehash(uint64(asid), VPN(addr))<<PageBits | uint64(PageOffset(addr))
+	}
+}
+
+// framehash is a splitmix64-style mix of (asid, vpn) to a synthetic page
+// frame number. The low four frame bits are page-colored: Ultrix's (and
+// most contemporary) physical allocators picked frames whose low bits
+// matched the virtual page, so that virtually-contiguous hot regions
+// spread evenly across the cache's page slices instead of colliding at
+// random. The color is salted with the ASID so that identical virtual
+// layouts in different address spaces (every process's text starts at
+// the same base) do not collide pathologically either.
+func framehash(asid uint64, vpn uint32) uint64 {
+	x := asid<<32 | uint64(vpn)
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	color := (uint64(vpn) + asid*5) & 15
+	return (x&^15 | color) & 0xffffffff // 32-bit frame space: 44-bit keys
+}

@@ -1,0 +1,157 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSegments(t *testing.T) {
+	cases := []struct {
+		addr uint32
+		want Segment
+	}{
+		{0x00000000, KUseg},
+		{0x00400000, KUseg},
+		{0x7fffffff, KUseg},
+		{0x80000000, Kseg0},
+		{0x9fffffff, Kseg0},
+		{0xa0000000, Kseg1},
+		{0xbfffffff, Kseg1},
+		{0xc0000000, Kseg2},
+		{0xffffffff, Kseg2},
+	}
+	for _, c := range cases {
+		if got := SegmentOf(c.addr); got != c.want {
+			t.Errorf("SegmentOf(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestMappedAndKernel(t *testing.T) {
+	if !Mapped(0x00400000) || !Mapped(0xc0000100) {
+		t.Error("kuseg and kseg2 must be mapped")
+	}
+	if Mapped(0x80001000) || Mapped(0xa0001000) {
+		t.Error("kseg0/kseg1 must be unmapped")
+	}
+	if KernelAddr(0x7fffffff) || !KernelAddr(0x80000000) {
+		t.Error("kernel boundary wrong")
+	}
+}
+
+func TestPageArithmetic(t *testing.T) {
+	addr := uint32(0x00403abc)
+	if VPN(addr) != 0x403 {
+		t.Errorf("VPN = %#x, want 0x403", VPN(addr))
+	}
+	if PageOffset(addr) != 0xabc {
+		t.Errorf("PageOffset = %#x, want 0xabc", PageOffset(addr))
+	}
+	if PageBase(addr) != 0x00403000 {
+		t.Errorf("PageBase = %#x", PageBase(addr))
+	}
+}
+
+func TestKeyFor(t *testing.T) {
+	// User pages are qualified by ASID.
+	k1 := KeyFor(0x00400000, 5)
+	k2 := KeyFor(0x00400000, 6)
+	if k1 == k2 {
+		t.Error("same user page under different ASIDs must differ")
+	}
+	// Kernel pages are global: ASID is ignored.
+	g1 := KeyFor(0xc0000000, 5)
+	g2 := KeyFor(0xc0000000, 6)
+	if g1 != g2 {
+		t.Error("kernel pages must be ASID-independent")
+	}
+}
+
+func TestPTEAddr(t *testing.T) {
+	// PTEs live in kseg2 and are laid out linearly per ASID.
+	a := PTEAddr(0, 0)
+	if a != PageTableBase {
+		t.Errorf("PTEAddr(0,0) = %#x, want %#x", a, PageTableBase)
+	}
+	if SegmentOf(PTEAddr(3, 0x7ffff)) != Kseg2 {
+		t.Error("PTE addresses must be in kseg2")
+	}
+	// Adjacent VPNs map to PTEs 4 bytes apart; 1024 VPNs share a
+	// page-table page (the unit the TLB caches).
+	if PTEAddr(1, 1)-PTEAddr(1, 0) != 4 {
+		t.Error("PTE stride must be 4 bytes")
+	}
+	if VPN(PTEAddr(1, 0)) != VPN(PTEAddr(1, 1023)) {
+		t.Error("1024 consecutive PTEs must share one page-table page")
+	}
+	if VPN(PTEAddr(1, 0)) == VPN(PTEAddr(1, 1024)) {
+		t.Error("PTE 1024 must be on the next page-table page")
+	}
+	// Different address spaces use disjoint page-table slots.
+	if PTEAddr(1, 0) == PTEAddr(2, 0) {
+		t.Error("per-ASID page tables must not overlap")
+	}
+}
+
+func TestCacheKey(t *testing.T) {
+	// User addresses from different spaces must not alias.
+	if CacheKey(0x1000, 1) == CacheKey(0x1000, 2) {
+		t.Error("user cache keys must be ASID-qualified")
+	}
+	// Kernel addresses are shared.
+	if CacheKey(0x80001000, 1) != CacheKey(0x80001000, 2) {
+		t.Error("kernel cache keys must be shared")
+	}
+	// Within a page, byte adjacency is preserved (spatial locality --
+	// cache lines never span pages).
+	if CacheKey(0x1001, 1)-CacheKey(0x1000, 1) != 1 {
+		t.Error("cache keys must preserve adjacency within a page")
+	}
+	// The same page is always placed on the same synthetic frame.
+	if CacheKey(0x1000, 1) != CacheKey(0x1000, 1) {
+		t.Error("cache keys must be deterministic")
+	}
+	// Unmapped kernel segments translate directly to low physical
+	// addresses.
+	if CacheKey(0x80001234, 0) != 0x1234 {
+		t.Errorf("kseg0 key = %#x, want 0x1234", CacheKey(0x80001234, 0))
+	}
+	// Mapped pages must not land in the low direct-mapped physical
+	// range.
+	if CacheKey(0x1000, 1) < 1<<44 {
+		t.Error("mapped keys must be disjoint from kseg0 physical range")
+	}
+}
+
+// Property: every address belongs to exactly one segment classification
+// and Mapped is consistent with it.
+func TestSegmentQuickConsistency(t *testing.T) {
+	f := func(addr uint32) bool {
+		s := SegmentOf(addr)
+		switch s {
+		case KUseg:
+			return addr < KUsegEnd && Mapped(addr) && !KernelAddr(addr)
+		case Kseg0:
+			return addr >= Kseg0Base && addr < Kseg0Limit && !Mapped(addr) && KernelAddr(addr)
+		case Kseg1:
+			return addr >= Kseg1Base && addr < Kseg1Limit && !Mapped(addr) && KernelAddr(addr)
+		case Kseg2:
+			return addr >= Kseg2Base && Mapped(addr) && KernelAddr(addr)
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: VPN/PageOffset decompose addresses exactly.
+func TestPageQuickDecomposition(t *testing.T) {
+	f := func(addr uint32) bool {
+		return VPN(addr)<<PageBits|PageOffset(addr) == addr &&
+			PageBase(addr)+PageOffset(addr) == addr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Package wbuf models the write buffer of a write-through memory system
+// like the DECstation 3100's: stores enter a small FIFO that retires one
+// entry per memory write time, and the CPU stalls only when the buffer is
+// full. Write-buffer stalls are one of the five CPI components the
+// paper's Monster measurements attribute (Tables 3 and 4).
+package wbuf
+
+// Config describes a write buffer.
+type Config struct {
+	// Entries is the buffer depth. The DECstation 3100 used a 4-entry
+	// buffer.
+	Entries int
+	// WriteCycles is the memory write time per entry, in CPU cycles.
+	WriteCycles int
+}
+
+// DECstation3100 returns the write-buffer parameters used for
+// validation runs: 4 entries, 5-cycle memory writes.
+func DECstation3100() Config { return Config{Entries: 4, WriteCycles: 5} }
+
+// Buffer simulates the write buffer. Time is supplied by the caller as
+// an absolute cycle count that must be non-decreasing across calls.
+type Buffer struct {
+	cfg Config
+	// retire[i] is the cycle at which queued entry i leaves the buffer.
+	retire []uint64
+	stalls uint64
+	writes uint64
+}
+
+// New returns a Buffer for cfg; it panics on non-positive parameters.
+func New(cfg Config) *Buffer {
+	if cfg.Entries <= 0 || cfg.WriteCycles <= 0 {
+		panic("wbuf: entries and write cycles must be positive")
+	}
+	return &Buffer{cfg: cfg, retire: make([]uint64, 0, cfg.Entries)}
+}
+
+// Write enqueues one store issued at cycle now and returns the number of
+// cycles the CPU stalls waiting for buffer space (zero when the buffer
+// has a free entry).
+func (b *Buffer) Write(now uint64) uint64 {
+	b.writes++
+	b.drain(now)
+	var stall uint64
+	if len(b.retire) == b.cfg.Entries {
+		// Full: wait for the oldest entry to retire.
+		stall = b.retire[0] - now
+		now = b.retire[0]
+		b.drain(now)
+	}
+	// The memory port is serial: a new write starts after the previous
+	// one finishes, never before `now`.
+	start := now
+	if n := len(b.retire); n > 0 && b.retire[n-1] > start {
+		start = b.retire[n-1]
+	}
+	b.retire = append(b.retire, start+uint64(b.cfg.WriteCycles))
+	b.stalls += stall
+	return stall
+}
+
+// drain removes entries that have retired by cycle now.
+func (b *Buffer) drain(now uint64) {
+	i := 0
+	for i < len(b.retire) && b.retire[i] <= now {
+		i++
+	}
+	if i > 0 {
+		b.retire = b.retire[:copy(b.retire, b.retire[i:])]
+	}
+}
+
+// Pending returns the number of entries still queued at cycle now.
+func (b *Buffer) Pending(now uint64) int {
+	b.drain(now)
+	return len(b.retire)
+}
+
+// StallCycles returns total CPU stall cycles charged so far.
+func (b *Buffer) StallCycles() uint64 { return b.stalls }
+
+// Writes returns the number of stores buffered so far.
+func (b *Buffer) Writes() uint64 { return b.writes }
+
+// Reset clears the buffer and counters.
+func (b *Buffer) Reset() {
+	b.retire = b.retire[:0]
+	b.stalls = 0
+	b.writes = 0
+}

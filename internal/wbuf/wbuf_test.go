@@ -1,0 +1,114 @@
+package wbuf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNoStallWhenSpace(t *testing.T) {
+	b := New(Config{Entries: 4, WriteCycles: 6})
+	for i := 0; i < 4; i++ {
+		if s := b.Write(0); s != 0 {
+			t.Errorf("write %d stalled %d cycles with free entries", i, s)
+		}
+	}
+	if b.Pending(0) != 4 {
+		t.Errorf("pending = %d, want 4", b.Pending(0))
+	}
+}
+
+func TestStallWhenFull(t *testing.T) {
+	b := New(Config{Entries: 2, WriteCycles: 10})
+	b.Write(0) // retires at 10
+	b.Write(0) // retires at 20
+	// Third back-to-back write must wait for the first to retire.
+	if s := b.Write(0); s != 10 {
+		t.Errorf("stall = %d, want 10", s)
+	}
+	if b.StallCycles() != 10 || b.Writes() != 3 {
+		t.Errorf("totals: stalls=%d writes=%d", b.StallCycles(), b.Writes())
+	}
+}
+
+func TestDrainOverTime(t *testing.T) {
+	b := New(Config{Entries: 2, WriteCycles: 10})
+	b.Write(0)
+	b.Write(0)
+	// By cycle 25 both entries have retired; no stall.
+	if s := b.Write(25); s != 0 {
+		t.Errorf("stall after drain = %d, want 0", s)
+	}
+}
+
+func TestSerialMemoryPort(t *testing.T) {
+	b := New(Config{Entries: 4, WriteCycles: 10})
+	b.Write(0) // starts 0, retires 10
+	b.Write(0) // must start at 10, retires 20
+	b.Write(0) // retires 30
+	b.Write(0) // retires 40
+	if s := b.Write(0); s != 10 {
+		t.Errorf("stall = %d, want 10 (oldest retires at cycle 10)", s)
+	}
+}
+
+func TestWellSpacedWritesNeverStall(t *testing.T) {
+	b := New(Config{Entries: 4, WriteCycles: 6})
+	now := uint64(0)
+	for i := 0; i < 100; i++ {
+		if s := b.Write(now); s != 0 {
+			t.Fatalf("write %d at %d stalled %d", i, now, s)
+		}
+		now += 6 // exactly the drain rate
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(Config{Entries: 1, WriteCycles: 5})
+	b.Write(0)
+	b.Write(0)
+	b.Reset()
+	if b.StallCycles() != 0 || b.Writes() != 0 || b.Pending(0) != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestDECstation3100Defaults(t *testing.T) {
+	c := DECstation3100()
+	if c.Entries != 4 || c.WriteCycles != 5 {
+		t.Errorf("DECstation3100() = %+v", c)
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{Entries: 0, WriteCycles: 6})
+}
+
+// Property: when the caller advances time by the stalls it is charged
+// (as the machine model does), pending never exceeds capacity and no
+// single write stalls longer than one memory write time.
+func TestQuickInvariants(t *testing.T) {
+	f := func(gaps []uint8) bool {
+		b := New(Config{Entries: 3, WriteCycles: 7})
+		now := uint64(0)
+		for _, g := range gaps {
+			now += uint64(g % 16)
+			stall := b.Write(now)
+			if stall > 7 {
+				return false
+			}
+			now += stall
+			if b.Pending(now) > 3 {
+				return false
+			}
+		}
+		return b.StallCycles() <= b.Writes()*7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"testing"
+
+	"onchip/internal/osmodel"
+	"onchip/internal/trace"
+)
+
+func TestAllSpecsValidate(t *testing.T) {
+	specs := All()
+	if len(specs) != 6 {
+		t.Fatalf("suite has %d workloads, want 6 (Table 2)", len(specs))
+	}
+	for _, w := range specs {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		if w.FullRunInstrs == 0 {
+			t.Errorf("%s: missing full-run scale", w.Name)
+		}
+		if w.Seed == 0 {
+			t.Errorf("%s: missing deterministic seed", w.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("mpeg_play")
+	if err != nil || w.Name != "mpeg_play" {
+		t.Errorf("ByName(mpeg_play) = %v, %v", w.Name, err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	ns := Names()
+	want := []string{"IOzone", "jpeg_play", "mab", "mpeg_play", "ousterhout", "video_play"}
+	if len(ns) != len(want) {
+		t.Fatalf("Names() = %v", ns)
+	}
+	for i := range want {
+		if ns[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, ns[i], want[i])
+		}
+	}
+}
+
+// Every workload must actually generate under both operating systems.
+func TestSpecsGenerate(t *testing.T) {
+	for _, w := range All() {
+		for _, v := range []osmodel.Variant{osmodel.Ultrix, osmodel.Mach} {
+			var c trace.Counter
+			osmodel.NewSystem(v, w).Generate(30_000, &c)
+			if c.Total < 30_000 {
+				t.Errorf("%s under %v generated only %d refs", w.Name, v, c.Total)
+			}
+		}
+	}
+}
+
+// Character checks tying the specs to the paper's workload descriptions.
+func TestWorkloadCharacter(t *testing.T) {
+	run := func(spec osmodel.WorkloadSpec) osmodel.GenStats {
+		return osmodel.NewSystem(osmodel.Ultrix, spec).Run(200_000, trace.Discard)
+	}
+	// ousterhout is the syscall-rate extreme; jpeg_play the compute
+	// extreme.
+	oust := run(Ousterhout())
+	jpeg := run(JPEGPlay())
+	oustRate := float64(oust.Calls) / float64(oust.Instrs)
+	jpegRate := float64(jpeg.Calls) / float64(jpeg.Instrs)
+	if oustRate < 5*jpegRate {
+		t.Errorf("ousterhout call rate %.2g should dwarf jpeg_play's %.2g", oustRate, jpegRate)
+	}
+	// The video workloads push frames; IOzone does not.
+	if run(VideoPlay()).Frames == 0 {
+		t.Error("video_play generated no display frames")
+	}
+	if run(IOzone()).Frames != 0 {
+		t.Error("IOzone should not touch the display")
+	}
+	// mab execs.
+	if MAB().ExecEvery == 0 {
+		t.Error("mab must roll address spaces via exec")
+	}
+}
+
+// video_play's large reads must cross Mach's out-of-line threshold;
+// mpeg_play's must not (it reads a compressed stream).
+func TestPayloadRegimes(t *testing.T) {
+	maxBytes := func(spec osmodel.WorkloadSpec) int {
+		m := 0
+		for _, c := range spec.Calls {
+			if c.Call.Bytes > m {
+				m = c.Call.Bytes
+			}
+		}
+		return m
+	}
+	if maxBytes(VideoPlay()) <= 8*1024 {
+		t.Error("video_play reads must exceed the 8-KB out-of-line threshold")
+	}
+	if maxBytes(MPEGPlay()) > 8*1024 {
+		t.Error("mpeg_play reads should stay in-line (compressed stream)")
+	}
+}
