@@ -1,0 +1,29 @@
+# Build and verification entry points. `make check` is the full gate:
+# vet, build, race-enabled tests, and a one-iteration pass over every
+# benchmark so the instrumented hot paths stay compiling and runnable.
+
+GO ?= go
+
+.PHONY: all build test vet bench race check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+check: vet build race bench
+
+clean:
+	$(GO) clean ./...

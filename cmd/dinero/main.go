@@ -17,10 +17,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"onchip/internal/area"
 	"onchip/internal/cache"
 	"onchip/internal/machine"
+	"onchip/internal/telemetry"
 	"onchip/internal/tlb"
 	"onchip/internal/trace"
 	"onchip/internal/wbuf"
@@ -39,6 +42,7 @@ func main() {
 	tlbEntries := flag.Int("tlb", 64, "TLB entries")
 	tlbAssoc := flag.Int("tlbassoc", 0, "TLB associativity (0 = fully associative)")
 	wbEntries := flag.Int("wb", 4, "write buffer entries")
+	metricsFile := flag.String("metrics", "", "write run manifest and metrics as JSONL to this file")
 	flag.Parse()
 
 	if *in == "" {
@@ -75,6 +79,10 @@ func main() {
 		os.Exit(1)
 	}
 
+	start := time.Now()
+	if *metricsFile != "" {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
 	m := machine.New(cfg)
 	n, err := r.Drain(m)
 	if err != nil {
@@ -104,4 +112,25 @@ func main() {
 		svc.Count[tlb.UserMiss], svc.Count[tlb.KernelMiss], svc.Count[tlb.OtherMiss], float64(svc.TotalCycles()))
 	fmt.Printf("\n%v\n", m.Breakdown())
 	fmt.Printf("simulated time at %.2f MHz: %.3f s\n", machine.ClockHz/1e6, m.Breakdown().Seconds())
+
+	if cfg.Metrics != nil {
+		man := &telemetry.Manifest{
+			Command:   "dinero",
+			Args:      os.Args[1:],
+			Start:     start.Format(time.RFC3339),
+			GoVersion: runtime.Version(),
+			Labels:    map[string]string{"trace": *in},
+		}
+		f, err := os.Create(*metricsFile)
+		if err == nil {
+			err = telemetry.WriteJSONL(f, man, cfg.Metrics.Snapshot())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dinero:", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -5,68 +5,176 @@
 // Usage:
 //
 //	memalloc [-refs N] list
-//	memalloc [-refs N] <experiment> [<experiment> ...]
-//	memalloc [-refs N] all
+//	memalloc [flags] <experiment> [<experiment> ...]
+//	memalloc [flags] all
 //
 // Experiments are named after the paper's artifacts (table1, table3,
 // table4, table6, table7, fig3..fig10) plus the methodology checks
 // (paths, sampling). -refs controls the simulated references per
 // workload/OS run; larger is slower and less noisy.
+//
+// Observability flags (all off by default; the default output is
+// byte-identical to an uninstrumented run):
+//
+//	-metrics FILE   write a JSONL run manifest plus every collected
+//	                metric (one JSON object per line) to FILE
+//	-trace FILE     capture the machine's stall-event window (a
+//	                Monster-style logic-analyzer ring) and dump it as
+//	                JSONL to FILE
+//	-progress       stream live progress lines to stderr: measurements
+//	                as they finish, sweep and search progress with ETA
+//	-pprof ADDR     serve net/http/pprof on ADDR (e.g. localhost:6060)
+//	                for the duration of the run
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
 	"time"
 
 	"onchip/internal/experiments"
+	"onchip/internal/machine"
+	"onchip/internal/telemetry"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	refs := flag.Int("refs", 0, "simulated references per workload run (0 = experiment default)")
+	metricsFile := flag.String("metrics", "", "write run manifest and metrics as JSONL to this file")
+	traceFile := flag.String("trace", "", "write the machine stall-event window as JSONL to this file")
+	progress := flag.Bool("progress", false, "stream live progress lines to stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Usage = usage
 	flag.Parse()
 
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	if args[0] == "list" {
+		if len(args) > 1 {
+			fmt.Fprintf(os.Stderr, "memalloc: \"list\" takes no further arguments (got %q)\n", args[1:])
+			return 2
+		}
 		for _, id := range experiments.IDs() {
 			fmt.Printf("  %-9s %s\n", id, experiments.Title(id))
 		}
-		return
+		return 0
 	}
 	ids := args
 	if args[0] == "all" {
+		if len(args) > 1 {
+			fmt.Fprintf(os.Stderr, "memalloc: \"all\" takes no further arguments (got %q)\n", args[1:])
+			return 2
+		}
 		ids = experiments.IDs()
+	} else {
+		// Validate every id up front so a typo after valid ids fails
+		// fast, names the offender, and runs nothing.
+		for _, id := range ids {
+			if experiments.Title(id) == "" {
+				fmt.Fprintf(os.Stderr, "memalloc: unknown experiment %q (run \"memalloc list\" for the catalog)\n", id)
+				return 2
+			}
+		}
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "memalloc: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "memalloc: pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
 	opt := experiments.Options{Refs: *refs}
+	if *metricsFile != "" {
+		opt.Metrics = telemetry.NewRegistry()
+	}
+	if *traceFile != "" {
+		opt.Tracer = telemetry.NewTracer(telemetry.DefaultTracerDepth)
+	}
+	if *progress {
+		opt.Progress = os.Stderr
+	}
+
+	start := time.Now()
 	failed := false
 	for _, id := range ids {
-		start := time.Now()
+		t0 := time.Now()
 		res, err := experiments.Run(id, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "memalloc:", err)
 			failed = true
 			continue
 		}
-		fmt.Printf("=== %s: %s (%.1fs)\n\n%s\n", res.ID, res.Title, time.Since(start).Seconds(), res.Text)
+		fmt.Printf("=== %s: %s (%.1fs)\n\n%s\n", res.ID, res.Title, time.Since(t0).Seconds(), res.Text)
 		for _, n := range res.Notes {
 			fmt.Printf("  note: %s\n", n)
 		}
 		fmt.Println()
 	}
-	if failed {
-		os.Exit(1)
+
+	if opt.Metrics != nil {
+		m := &telemetry.Manifest{
+			Command:   "memalloc",
+			Args:      os.Args[1:],
+			Start:     start.Format(time.RFC3339),
+			GoVersion: runtime.Version(),
+			Labels:    map[string]string{"experiments": fmt.Sprint(ids)},
+		}
+		if err := writeMetrics(*metricsFile, m, opt.Metrics.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "memalloc:", err)
+			failed = true
+		}
 	}
+	if opt.Tracer != nil {
+		if err := writeTrace(*traceFile, opt.Tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "memalloc:", err)
+			failed = true
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func writeMetrics(path string, m *telemetry.Manifest, metrics []telemetry.Metric) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteJSONL(f, m, metrics); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeTrace(path string, tr *telemetry.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := machine.WriteTrace(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: memalloc [-refs N] list | all | <experiment>...
+	fmt.Fprintf(os.Stderr, `usage: memalloc [flags] list | all | <experiment>...
 
 Reproduces the evaluation of "Optimal Allocation of On-chip Memory for
 Multiple-API Operating Systems" (ISCA 1994). Run "memalloc list" for the

@@ -12,11 +12,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"onchip/internal/area"
 	"onchip/internal/machine"
 	"onchip/internal/osmodel"
 	"onchip/internal/tapeworm"
+	"onchip/internal/telemetry"
 	"onchip/internal/tlb"
 	"onchip/internal/trace"
 	"onchip/internal/workload"
@@ -26,6 +29,7 @@ func main() {
 	wl := flag.String("workload", "video_play", "workload name")
 	osName := flag.String("os", "Mach", "operating system: Ultrix or Mach")
 	refs := flag.Int("refs", 2_000_000, "references to simulate")
+	metricsFile := flag.String("metrics", "", "write run manifest and metrics as JSONL to this file")
 	flag.Parse()
 
 	spec, err := workload.ByName(*wl)
@@ -56,7 +60,13 @@ func main() {
 		}
 	}
 
+	start := time.Now()
 	hw := tlb.NewManaged(tlb.R2000(), tlb.DefaultCosts())
+	var reg *telemetry.Registry
+	if *metricsFile != "" {
+		reg = telemetry.NewRegistry()
+		hw.Describe(reg, "tapeworm.hw_tlb")
+	}
 	tw := tapeworm.Attach(hw, configs...)
 	var instrs uint64
 	sink := trace.SinkFunc(func(r trace.Ref) {
@@ -82,5 +92,28 @@ func main() {
 			r.Config.TLBConfig.String(),
 			r.Service.Count[tlb.UserMiss], r.Service.Count[tlb.KernelMiss], r.Service.Count[tlb.OtherMiss],
 			secs)
+	}
+
+	if reg != nil {
+		reg.Counter("tapeworm.instructions", "instructions in the measured window").Add(instrs)
+		reg.Counter("tapeworm.configs", "TLB configurations simulated simultaneously").Add(uint64(len(configs)))
+		m := &telemetry.Manifest{
+			Command:   "tapeworm",
+			Args:      os.Args[1:],
+			Start:     start.Format(time.RFC3339),
+			GoVersion: runtime.Version(),
+			Labels:    map[string]string{"workload": spec.Name, "os": v.String()},
+		}
+		f, err := os.Create(*metricsFile)
+		if err == nil {
+			err = telemetry.WriteJSONL(f, m, reg.Snapshot())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tapeworm:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,26 +1,18 @@
 package area
 
 import (
-	"math"
 	"testing"
 	"testing/quick"
-)
 
-// within asserts |got-want|/want <= tol.
-func within(t *testing.T, name string, got, want, tol float64) {
-	t.Helper()
-	rel := math.Abs(got-want) / want
-	if rel > tol {
-		t.Errorf("%s = %.0f, want %.0f (+/- %.1f%%); off by %.1f%%", name, got, want, tol*100, rel*100)
-	}
-}
+	"onchip/internal/testutil"
+)
 
 // The paper states a 512-entry, 8-way set-associative TLB costs "just
 // 19,000 rbes" (section 5.4).
 func TestTLBAnchor512Entry8Way(t *testing.T) {
 	m := Default()
 	got := m.TLBArea(TLBConfig{Entries: 512, Assoc: 8})
-	within(t, "TLB(512,8-way)", got, 19000, 0.05)
+	testutil.Within(t, "TLB(512,8-way)", got, 19000, 0.05)
 }
 
 // "For approximately the same cost, designers can choose either a
@@ -150,7 +142,7 @@ func TestPaperConfigurationTotals(t *testing.T) {
 	}
 	for _, c := range cases {
 		got := m.TotalArea(c.tlb, c.i, c.d)
-		within(t, c.name, got, c.wantRBEs, 0.02)
+		testutil.Within(t, c.name, got, c.wantRBEs, 0.02)
 	}
 }
 

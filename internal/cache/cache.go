@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"onchip/internal/area"
+	"onchip/internal/telemetry"
 )
 
 // Config describes the cache to simulate. It embeds the area model's
@@ -188,6 +189,22 @@ func (c *Cache) AccessWB(key uint64, write bool) (hit, writeback bool) {
 	copy(ways[1:], ways[:len(ways)-1])
 	ways[0] = e
 	return false, writeback
+}
+
+// Describe publishes the cache's counters with the registry under
+// prefix (e.g. "machine.icache"). The metrics are pull-style: they read
+// the Stats the simulator already keeps, so the access hot path is
+// untouched and several caches (one per concurrent sweep, say) can
+// publish under one prefix and have their counts summed at snapshot
+// time. Safe to call with a nil registry.
+func (c *Cache) Describe(reg *telemetry.Registry, prefix string) {
+	reg.CounterFunc(prefix+".reads", "load + fetch accesses", func() uint64 { return c.stats.Reads })
+	reg.CounterFunc(prefix+".read_misses", "load + fetch misses", func() uint64 { return c.stats.ReadMisses })
+	reg.CounterFunc(prefix+".writes", "store accesses", func() uint64 { return c.stats.Writes })
+	reg.CounterFunc(prefix+".write_misses", "store misses", func() uint64 { return c.stats.WriteMisses })
+	reg.CounterFunc(prefix+".fills", "line fills performed", func() uint64 { return c.stats.Fills })
+	reg.CounterFunc(prefix+".writebacks", "dirty lines evicted", func() uint64 { return c.stats.Writebacks })
+	reg.CounterFunc(prefix+".compulsory", "read misses to never-seen blocks", func() uint64 { return c.stats.Compulsory })
 }
 
 // MissPenalty is the paper's on-chip miss cost model: "6 cycles for the

@@ -24,7 +24,7 @@ func init() {
 // simulation for the D-stream, Tapeworm for the TLBs, and a
 // DECstation-style run for the configuration-independent base CPI
 // (1.0 plus write-buffer and other stalls).
-func buildMeasuredModel(space search.Space, refsEach int) *search.Measured {
+func buildMeasuredModel(space search.Space, refsEach int, opt Options) *search.Measured {
 	cacheCfgs := space.CacheConfigs()
 	tlbCfgs := space.TLBConfigs()
 	var tlbConfigs []tlb.Config
@@ -32,10 +32,15 @@ func buildMeasuredModel(space search.Space, refsEach int) *search.Measured {
 		tlbConfigs = append(tlbConfigs, tlb.Config{TLBConfig: c})
 	}
 
+	specs := workload.All()
+	opt.progressf("sweep: %d workloads x (%d cache + %d TLB) configs, %d refs each",
+		len(specs), len(cacheCfgs), len(tlbCfgs), refsEach)
+
 	iMiss := make(map[area.CacheConfig]uint64)
 	dMiss := make(map[area.CacheConfig]uint64)
 	tlbCycles := make(map[area.TLBConfig]uint64)
 	var instrs uint64
+	var workloadsDone int
 
 	// The per-workload sweeps are independent; run them concurrently
 	// and merge the counts under a lock. Each simulator is deterministic
@@ -43,7 +48,7 @@ func buildMeasuredModel(space search.Space, refsEach int) *search.Measured {
 	// bit-identical models.
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for _, spec := range workload.All() {
+	for _, spec := range specs {
 		wg.Add(1)
 		go func(spec osmodel.WorkloadSpec) {
 			defer wg.Done()
@@ -71,6 +76,10 @@ func buildMeasuredModel(space search.Space, refsEach int) *search.Measured {
 				s := results[i].Service
 				tlbCycles[c] += s.Cycles[tlb.UserMiss] + s.Cycles[tlb.KernelMiss]
 			}
+			workloadsDone++
+			opt.progressf("sweep: %s done (%d/%d workloads)", spec.Name, workloadsDone, len(specs))
+			opt.Metrics.Counter("sweep.workloads_done", "workload sweeps completed").Inc()
+			opt.Metrics.Counter("sweep.instructions", "instructions simulated by the I-stream sweeps").Add(isweep.instrs)
 		}(spec)
 	}
 	wg.Wait()
@@ -94,8 +103,18 @@ func buildMeasuredModel(space search.Space, refsEach int) *search.Measured {
 
 func runAllocation(opt Options, space search.Space, title string, extraNotes []string) (Result, error) {
 	refs := opt.refs(defaultSweepRefs)
-	model := buildMeasuredModel(space, refs)
-	allocs := search.Enumerate(space, area.Default(), area.BudgetRBE, model)
+	model := buildMeasuredModel(space, refs, opt)
+	var searchOpts []search.Option
+	if opt.Progress != nil {
+		searchOpts = append(searchOpts, search.WithProgress(0, func(p search.Progress) {
+			opt.progressf("search: %s", p)
+		}))
+	}
+	allocs := search.Enumerate(space, area.Default(), area.BudgetRBE, model, searchOpts...)
+	nc := len(space.CacheConfigs())
+	opt.Metrics.Counter("search.configs_priced", "TLB x I-cache x D-cache combinations priced").
+		Add(uint64(len(space.TLBConfigs()) * nc * nc))
+	opt.Metrics.Counter("search.configs_kept", "allocations within the area budget").Add(uint64(len(allocs)))
 	t := report.NewTable(title,
 		"Rank", "TLB", "I-cache", "D-cache", "Total rbe", "Total CPI")
 	for i, a := range search.Top(allocs, 10) {

@@ -7,14 +7,31 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"sort"
+
+	"onchip/internal/telemetry"
 )
 
-// Options controls experiment scale.
+// Options controls experiment scale and observability.
 type Options struct {
 	// Refs is the number of references to simulate per workload/OS
 	// run. Zero selects the experiment's default (a few million).
 	Refs int
+	// Metrics, when non-nil, receives run metrics from instrumented
+	// experiments: machine stall counters and component stats from
+	// monitor-based runs, sweep and enumeration counters from the
+	// design-space searches. Nil (the default) keeps every experiment
+	// byte-identical to the uninstrumented output.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, captures the machine stall-event window of
+	// experiments that run a timing machine (the Monster capture
+	// window).
+	Tracer *telemetry.Tracer
+	// Progress, when non-nil, receives live progress lines (one per
+	// write, newline-terminated): suite measurements as they finish and
+	// design-space sweep/enumeration progress with ETA.
+	Progress io.Writer
 }
 
 func (o Options) refs(def int) int {
@@ -22,6 +39,14 @@ func (o Options) refs(def int) int {
 		return o.Refs
 	}
 	return def
+}
+
+// progressf emits one progress line when a Progress sink is installed.
+func (o Options) progressf(format string, args ...any) {
+	if o.Progress == nil {
+		return
+	}
+	fmt.Fprintf(o.Progress, format+"\n", args...)
 }
 
 // Result is a rendered experiment.

@@ -41,7 +41,7 @@ func init() {
 func extATime(opt Options) (Result, error) {
 	refs := opt.refs(defaultSweepRefs)
 	space := search.Table5()
-	model := buildMeasuredModel(space, refs)
+	model := buildMeasuredModel(space, refs, opt)
 	am := area.Default()
 	tm := atime.Default()
 

@@ -35,16 +35,21 @@ func breakdownRow(t *report.Table, name, os string, b machine.Breakdown) {
 func table3(opt Options) (Result, error) {
 	refs := opt.refs(defaultStallRefs)
 	cfg := machine.DECstation3100()
+	cfg.Metrics = opt.Metrics
+	cfg.Tracer = opt.Tracer
 	spec := workload.MPEGPlay()
 
 	t := report.NewTable("CPU stall components, mpeg_play on DECstation 3100 parameters",
 		"Workload", "OS", "CPI", "TLB", "I-cache", "D-cache", "WriteBuf", "Other")
 	none := monitor.MeasureUserOnly(spec, refs, cfg)
 	breakdownRow(t, spec.Name, "None", none.Breakdown)
+	opt.progressf("measure: %s/None done (CPI %.2f)", spec.Name, none.Breakdown.CPI)
 	ult := monitor.Measure(osmodel.Ultrix, spec, refs, cfg)
 	breakdownRow(t, spec.Name, "Ultrix", ult.Breakdown)
+	opt.progressf("measure: %s/Ultrix done (CPI %.2f)", spec.Name, ult.Breakdown.CPI)
 	mach := monitor.Measure(osmodel.Mach, spec, refs, cfg)
 	breakdownRow(t, spec.Name, "Mach", mach.Breakdown)
+	opt.progressf("measure: %s/Mach done (CPI %.2f)", spec.Name, mach.Breakdown.CPI)
 
 	return Result{
 		Text: t.String(),
@@ -60,11 +65,14 @@ func table3(opt Options) (Result, error) {
 func table4(opt Options) (Result, error) {
 	refs := opt.refs(defaultStallRefs)
 	cfg := machine.DECstation3100()
+	cfg.Metrics = opt.Metrics
+	cfg.Tracer = opt.Tracer
 	t := report.NewTable("CPI stall components for all workloads (DECstation 3100 parameters)",
 		"Workload", "OS", "CPI", "TLB", "I-cache", "D-cache", "WriteBuf", "Other")
 	for _, v := range []osmodel.Variant{osmodel.Ultrix, osmodel.Mach} {
 		for _, row := range monitor.MeasureSuite(v, workload.All(), refs, cfg) {
 			breakdownRow(t, row.Workload, v.String(), row.Breakdown)
+			opt.progressf("measure: %s/%s done (CPI %.2f)", row.Workload, v, row.Breakdown.CPI)
 		}
 	}
 	return Result{
@@ -80,6 +88,8 @@ func table4(opt Options) (Result, error) {
 func figure3(opt Options) (Result, error) {
 	refs := opt.refs(defaultStallRefs)
 	cfg := machine.DECstation3100()
+	cfg.Metrics = opt.Metrics
+	cfg.Tracer = opt.Tracer
 	var b strings.Builder
 	for _, v := range []osmodel.Variant{osmodel.Ultrix, osmodel.Mach} {
 		var series []report.Series
@@ -87,6 +97,7 @@ func figure3(opt Options) (Result, error) {
 			series = append(series, report.Series{Label: c.String()})
 		}
 		rows := monitor.MeasureSuite(v, workload.All(), refs, cfg)
+		opt.progressf("measure: %s suite done (%d rows)", v, len(rows))
 		for _, row := range rows {
 			for c := machine.CompTLB; c <= machine.CompOther; c++ {
 				series[c].Points = append(series[c].Points, report.Point{

@@ -1,0 +1,57 @@
+package machine
+
+import (
+	"testing"
+
+	"onchip/internal/telemetry"
+	"onchip/internal/trace"
+)
+
+// benchRefs builds a deterministic reference stream with the rough shape
+// of a real workload: ~70% fetches walking a few code pages, ~20% loads
+// and ~10% stores over a small heap, so every machine component (TLB,
+// both caches, write buffer) is exercised.
+func benchRefs(n int) []trace.Ref {
+	refs := make([]trace.Ref, 0, n)
+	var pc, heap uint32 = 0x0040_0000, 0x1000_0000
+	for i := 0; len(refs) < n; i++ {
+		pc += 4
+		if i%512 == 0 {
+			pc = 0x0040_0000 + uint32(i%8192)
+		}
+		refs = append(refs, trace.Ref{Kind: trace.IFetch, Addr: pc, ASID: 1, Mode: trace.User})
+		switch i % 10 {
+		case 3, 6:
+			refs = append(refs, trace.Ref{Kind: trace.Load, Addr: heap + uint32(i%4096)&^3, ASID: 1, Mode: trace.User})
+		case 9:
+			refs = append(refs, trace.Ref{Kind: trace.Store, Addr: heap + uint32(i%2048)&^3, ASID: 1, Mode: trace.User})
+		}
+	}
+	return refs[:n]
+}
+
+func benchMachine(b *testing.B, cfg Config) {
+	refs := benchRefs(1 << 16)
+	m := New(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Ref(refs[i&(len(refs)-1)])
+	}
+}
+
+// BenchmarkMachineRefTelemetryOff measures the Ref hot path with no
+// telemetry attached (the default); this is the guard benchmark for the
+// ~zero-overhead-when-off guarantee.
+func BenchmarkMachineRefTelemetryOff(b *testing.B) {
+	benchMachine(b, DECstation3100())
+}
+
+// BenchmarkMachineRefTelemetryOn measures the same hot path with the
+// full instrumentation attached: registry counters and histograms plus
+// the Monster-style event ring.
+func BenchmarkMachineRefTelemetryOn(b *testing.B) {
+	cfg := DECstation3100()
+	cfg.Metrics = telemetry.NewRegistry()
+	cfg.Tracer = telemetry.NewTracer(telemetry.DefaultTracerDepth)
+	benchMachine(b, cfg)
+}

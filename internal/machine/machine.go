@@ -12,8 +12,11 @@ package machine
 import (
 	"fmt"
 
+	"io"
+
 	"onchip/internal/area"
 	"onchip/internal/cache"
+	"onchip/internal/telemetry"
 	"onchip/internal/tlb"
 	"onchip/internal/trace"
 	"onchip/internal/vm"
@@ -90,6 +93,16 @@ type Config struct {
 	// the long cache lines Mach favors. The prefetched line fills in
 	// the shadow of the demand miss and costs no extra stall.
 	IPrefetchNextLine bool
+	// Metrics, when non-nil, registers the machine's telemetry: per-
+	// component stall counters, per-stream miss-cost histograms, a
+	// write-buffer depth gauge, and the cache/TLB/write-buffer counter
+	// sets under the "machine." prefix. Nil (the default) costs the hot
+	// path nothing beyond inlined nil checks.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records every stall charge (reference kind,
+	// address, component, cycles) into the bounded event ring -- the
+	// reproduction of Monster's logic-analyzer capture window.
+	Tracer *telemetry.Tracer
 }
 
 // Costs returns the effective TLB cost model.
@@ -132,6 +145,14 @@ type Machine struct {
 	uncachedLoad uint64
 	l2           *cache.Cache
 	l2Hit        uint64
+
+	// Telemetry. All nil (no-op) unless Config.Metrics/Tracer are set.
+	stallC    [nComponents]*telemetry.Counter
+	iMissHist *telemetry.Histogram
+	dMissHist *telemetry.Histogram
+	wbDepth   *telemetry.Gauge
+	tracer    *telemetry.Tracer
+	cur       trace.Ref // reference being simulated, for event attribution
 }
 
 // New assembles a machine; it panics on invalid component configs.
@@ -159,7 +180,71 @@ func New(cfg Config) *Machine {
 	if m.uncachedLoad = uint64(cfg.UncachedLoadCycles); m.uncachedLoad == 0 {
 		m.uncachedLoad = 6
 	}
+	m.tracer = cfg.Tracer
+	if reg := cfg.Metrics; reg != nil {
+		// Other is a fractional per-instruction density, not whole
+		// cycles; publish it pull-style instead of as a counter.
+		for c := CompTLB; c < CompOther; c++ {
+			m.stallC[c] = reg.Counter("machine.stall_cycles."+c.slug(),
+				"stall cycles charged to "+c.String())
+		}
+		reg.GaugeFunc("machine.stall_cycles.other", "interlock stall cycles (fractional)",
+			func() float64 { return m.otherStall })
+		m.iMissHist = reg.Histogram("machine.icache.miss_cost_cycles", "per-miss fill cost, instruction stream")
+		m.dMissHist = reg.Histogram("machine.dcache.miss_cost_cycles", "per-miss fill cost, data stream")
+		m.wbDepth = reg.Gauge("machine.wbuf.depth", "write-buffer entries queued after each store")
+		m.ic.Describe(reg, "machine.icache")
+		if !cfg.Unified {
+			m.dc.Describe(reg, "machine.dcache")
+		}
+		if m.l2 != nil {
+			m.l2.Describe(reg, "machine.l2")
+		}
+		m.tlb.Describe(reg, "machine.tlb")
+		m.wb.Describe(reg, "machine.wbuf")
+		reg.CounterFunc("machine.instructions", "instructions retired", func() uint64 { return m.instrs })
+		reg.CounterFunc("machine.cycles", "machine cycles", func() uint64 { return m.cycles })
+	}
 	return m
+}
+
+// slug returns the component's lower-case metric-name form.
+func (c Component) slug() string {
+	switch c {
+	case CompTLB:
+		return "tlb"
+	case CompICache:
+		return "icache"
+	case CompDCache:
+		return "dcache"
+	case CompWB:
+		return "wbuf"
+	default:
+		return "other"
+	}
+}
+
+// event records one stall charge into the tracer; a nil tracer makes
+// this an inlined nil check.
+func (m *Machine) event(c Component, cycles uint64) {
+	if m.tracer == nil {
+		return
+	}
+	m.tracer.Record(telemetry.Event{
+		Kind:   uint8(m.cur.Kind),
+		Addr:   m.cur.Addr,
+		ASID:   m.cur.ASID,
+		Comp:   uint8(c),
+		Cycles: uint32(cycles),
+	})
+}
+
+// WriteTrace dumps a tracer's captured event window as JSONL with this
+// package's component names and the trace package's reference kinds.
+func WriteTrace(w io.Writer, t *telemetry.Tracer) error {
+	return t.WriteJSONL(w,
+		func(k uint8) string { return trace.Kind(k).String() },
+		func(c uint8) string { return Component(c).slug() })
 }
 
 // TLB exposes the managed TLB (for Tapeworm hookup).
@@ -180,10 +265,15 @@ func (m *Machine) Instructions() uint64 { return m.instrs }
 
 // Ref implements trace.Sink: simulate one reference.
 func (m *Machine) Ref(r trace.Ref) {
+	if m.tracer != nil {
+		m.cur = r
+	}
 	// Address translation applies to every mapped reference.
 	if stall := m.tlb.Translate(r.Addr, r.ASID); stall > 0 {
 		m.cycles += stall
 		m.stalls[CompTLB] += stall
+		m.stallC[CompTLB].Add(stall)
+		m.event(CompTLB, stall)
 	}
 	key := vm.CacheKey(r.Addr, r.ASID)
 	switch r.Kind {
@@ -194,6 +284,9 @@ func (m *Machine) Ref(r trace.Ref) {
 			p := m.missCost(key, m.cfg.ICache.LineWords)
 			m.cycles += p
 			m.stalls[CompICache] += p
+			m.stallC[CompICache].Add(p)
+			m.iMissHist.Observe(p)
+			m.event(CompICache, p)
 			if m.cfg.IPrefetchNextLine {
 				// Fill the next sequential line in the shadow of the
 				// demand fill.
@@ -212,6 +305,8 @@ func (m *Machine) Ref(r trace.Ref) {
 			// Uncached I/O-space load.
 			m.cycles += m.uncachedLoad
 			m.stalls[CompDCache] += m.uncachedLoad
+			m.stallC[CompDCache].Add(m.uncachedLoad)
+			m.event(CompDCache, m.uncachedLoad)
 			return
 		}
 		hit, writeback := m.dc.AccessWB(key, false)
@@ -219,6 +314,9 @@ func (m *Machine) Ref(r trace.Ref) {
 			p := m.missCost(key, m.cfg.DCache.LineWords)
 			m.cycles += p
 			m.stalls[CompDCache] += p
+			m.stallC[CompDCache].Add(p)
+			m.dMissHist.Observe(p)
+			m.event(CompDCache, p)
 		}
 		if writeback {
 			m.lineWriteback()
@@ -238,6 +336,9 @@ func (m *Machine) Ref(r trace.Ref) {
 				p := m.missCost(key, m.cfg.DCache.LineWords)
 				m.cycles += p
 				m.stalls[CompDCache] += p
+				m.stallC[CompDCache].Add(p)
+				m.dMissHist.Observe(p)
+				m.event(CompDCache, p)
 			}
 			if writeback {
 				m.lineWriteback()
@@ -271,6 +372,11 @@ func (m *Machine) wbWrite() {
 	if stall := m.wb.Write(m.cycles); stall > 0 {
 		m.cycles += stall
 		m.stalls[CompWB] += stall
+		m.stallC[CompWB].Add(stall)
+		m.event(CompWB, stall)
+	}
+	if m.wbDepth != nil {
+		m.wbDepth.Set(float64(m.wb.Depth()))
 	}
 }
 

@@ -1,0 +1,113 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"onchip/internal/telemetry"
+	"onchip/internal/trace"
+)
+
+// Telemetry must observe the machine, never perturb it: the same stream
+// with and without instrumentation must produce identical timing, and
+// the registry's counters must agree with the machine's own breakdown.
+func TestTelemetryIsNonInvasive(t *testing.T) {
+	refs := benchRefs(200_000)
+
+	plain := New(DECstation3100())
+	cfg := DECstation3100()
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(1024)
+	cfg.Metrics = reg
+	cfg.Tracer = tr
+	instrumented := New(cfg)
+
+	for _, r := range refs {
+		plain.Ref(r)
+		instrumented.Ref(r)
+	}
+
+	if plain.Cycles() != instrumented.Cycles() || plain.Instructions() != instrumented.Instructions() {
+		t.Fatalf("instrumentation changed timing: cycles %d vs %d, instrs %d vs %d",
+			plain.Cycles(), instrumented.Cycles(), plain.Instructions(), instrumented.Instructions())
+	}
+	if pb, ib := plain.Breakdown(), instrumented.Breakdown(); pb != ib {
+		t.Fatalf("instrumentation changed the breakdown: %v vs %v", pb, ib)
+	}
+
+	snap := map[string]telemetry.Metric{}
+	for _, m := range reg.Snapshot() {
+		snap[m.Name] = m
+	}
+	for c, name := range map[Component]string{
+		CompTLB:    "machine.stall_cycles.tlb",
+		CompICache: "machine.stall_cycles.icache",
+		CompDCache: "machine.stall_cycles.dcache",
+		CompWB:     "machine.stall_cycles.wbuf",
+	} {
+		if got := uint64(snap[name].Value); got != instrumented.stalls[c] {
+			t.Errorf("%s = %d, want %d", name, got, instrumented.stalls[c])
+		}
+	}
+	if got := uint64(snap["machine.instructions"].Value); got != instrumented.Instructions() {
+		t.Errorf("machine.instructions = %d, want %d", got, instrumented.Instructions())
+	}
+	ics := instrumented.ICache().Stats()
+	if got := uint64(snap["machine.icache.read_misses"].Value); got != ics.ReadMisses {
+		t.Errorf("machine.icache.read_misses = %d, want %d", got, ics.ReadMisses)
+	}
+	// Every I-cache read miss shows up in the miss-cost histogram.
+	if got := snap["machine.icache.miss_cost_cycles"].Count; got != ics.ReadMisses {
+		t.Errorf("icache miss-cost histogram count = %d, want %d", got, ics.ReadMisses)
+	}
+	if tr.Total() == 0 {
+		t.Error("tracer captured no events")
+	}
+}
+
+func TestWriteTraceJSONL(t *testing.T) {
+	cfg := DECstation3100()
+	tr := telemetry.NewTracer(256)
+	cfg.Tracer = tr
+	m := New(cfg)
+	for _, r := range benchRefs(50_000) {
+		m.Ref(r)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != tr.Len() {
+		t.Fatalf("dumped %d lines, tracer holds %d events", len(lines), tr.Len())
+	}
+	comps := map[string]bool{}
+	for i, line := range lines {
+		var obj struct {
+			Type   string `json:"type"`
+			Kind   string `json:"kind"`
+			Comp   string `json:"comp"`
+			Cycles uint32 `json:"cycles"`
+		}
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d invalid JSON: %v", i, err)
+		}
+		if obj.Type != "event" || obj.Cycles == 0 {
+			t.Fatalf("line %d: unexpected event %+v", i, obj)
+		}
+		switch obj.Kind {
+		case trace.IFetch.String(), trace.Load.String(), trace.Store.String():
+		default:
+			t.Fatalf("line %d: unknown kind %q", i, obj.Kind)
+		}
+		comps[obj.Comp] = true
+	}
+	// The window holds only the newest events (TLB misses cluster at
+	// cold start and age out), but the steady-state stream keeps
+	// missing in the I-cache.
+	if !comps["icache"] {
+		t.Errorf("expected icache events in the window, got %v", comps)
+	}
+}

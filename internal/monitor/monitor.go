@@ -12,6 +12,7 @@ package monitor
 import (
 	"onchip/internal/machine"
 	"onchip/internal/osmodel"
+	"onchip/internal/telemetry"
 	"onchip/internal/trace"
 )
 
@@ -21,19 +22,33 @@ type Row struct {
 	OS        string
 	Breakdown machine.Breakdown
 	Gen       osmodel.GenStats
+	// Detail is the telemetry snapshot taken after the run when the
+	// machine config carried a Metrics registry: the deep-dive numbers
+	// behind the Breakdown (per-cache hit/miss counts, TLB refill
+	// classes, write-buffer histograms, per-service-class OS activity).
+	// Nil when telemetry is off.
+	Detail []telemetry.Metric
 }
 
 // Measure runs the workload under the OS variant for approximately refs
 // references on a machine built from cfg, and returns the stall
 // breakdown. The config's OtherCPI and server-ASID predicate are filled
-// in from the spec and OS model.
+// in from the spec and OS model. When cfg.Metrics is set, the OS model
+// is attached to the same registry and the Row carries a full telemetry
+// snapshot; when cfg.Tracer is set, the machine's stall events land in
+// that ring.
 func Measure(v osmodel.Variant, spec osmodel.WorkloadSpec, refs int, cfg machine.Config) Row {
 	cfg.OtherCPI = spec.OtherCPI
 	cfg.IsServerASID = osmodel.IsServerASID
 	m := machine.New(cfg)
 	sys := osmodel.NewSystem(v, spec)
+	sys.SetMetrics(cfg.Metrics)
 	gen := sys.Run(refs, m)
-	return Row{Workload: spec.Name, OS: v.String(), Breakdown: m.Breakdown(), Gen: gen}
+	row := Row{Workload: spec.Name, OS: v.String(), Breakdown: m.Breakdown(), Gen: gen}
+	if cfg.Metrics != nil {
+		row.Detail = cfg.Metrics.Snapshot()
+	}
+	return row
 }
 
 // MeasureUserOnly reproduces the paper's "None" measurement condition
@@ -53,7 +68,11 @@ func MeasureUserOnly(spec osmodel.WorkloadSpec, refs int, cfg machine.Config) Ro
 		Next: m,
 	}
 	gen := sys.Run(refs, filter)
-	return Row{Workload: spec.Name, OS: "None", Breakdown: m.Breakdown(), Gen: gen}
+	row := Row{Workload: spec.Name, OS: "None", Breakdown: m.Breakdown(), Gen: gen}
+	if cfg.Metrics != nil {
+		row.Detail = cfg.Metrics.Snapshot()
+	}
+	return row
 }
 
 // MeasureSuite runs every workload under the variant and returns the

@@ -20,6 +20,7 @@ package osmodel
 import (
 	"fmt"
 
+	"onchip/internal/telemetry"
 	"onchip/internal/trace"
 	"onchip/internal/vm"
 )
@@ -209,6 +210,12 @@ type System struct {
 	// the monolithic BSD server: file-system calls first resolve
 	// through a separate small-granularity name/authentication server.
 	nameServer *Process
+
+	// Telemetry (nil no-ops unless SetMetrics is called): per-service-
+	// class invocation and reference counts.
+	metricsOn bool
+	svcCalls  [nServices]*telemetry.Counter
+	svcRefs   [nServices]*telemetry.Counter
 }
 
 // cursor streams through a region, wrapping.
@@ -310,6 +317,22 @@ func (s *System) EnableDecomposedServers() {
 		panic("osmodel: decomposed servers are a Mach restructuring")
 	}
 	s.nameServer = newProcess("name_server", asidPager, 128<<10, 2<<10, 128<<10, 0)
+}
+
+// SetMetrics attaches a telemetry registry: every OS service class gets
+// an invocation counter and a counter of the memory references its
+// invocations emitted (invocation path, service body and payload
+// traffic included). Safe to call with nil (telemetry stays off). Must
+// be called before Run/Generate for complete counts.
+func (s *System) SetMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.metricsOn = true
+	for svc := SvcRead; svc < nServices; svc++ {
+		s.svcCalls[svc] = reg.Counter("os.calls."+svc.String(), "invocations of the service")
+		s.svcRefs[svc] = reg.Counter("os.refs."+svc.String(), "references emitted serving the call")
+	}
 }
 
 // Spec returns the workload specification.
@@ -426,6 +449,17 @@ func (s *System) drawCall() Call {
 // application: a store burst filling the buffer, which is where much of
 // the paper's write-buffer pressure comes from.
 func (s *System) invoke(c Call) {
+	if !s.metricsOn {
+		s.dispatch(c)
+		return
+	}
+	before := s.em.Emitted()
+	s.dispatch(c)
+	s.svcCalls[c.Svc].Inc()
+	s.svcRefs[c.Svc].Add(s.em.Emitted() - before)
+}
+
+func (s *System) dispatch(c Call) {
 	if c.Bytes > 0 && (c.Svc == SvcWrite || c.Svc == SvcSockSend) {
 		s.appProduce(c.Bytes)
 	}

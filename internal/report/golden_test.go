@@ -1,0 +1,66 @@
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"onchip/internal/telemetry"
+)
+
+// The metrics sink feeds the standard table renderer; its output is part
+// of the tool surface (users diff runs), so it must be byte-stable. This
+// test pins one registry snapshot rendered through telemetry.MetricsTable
+// and through the JSONL sink against golden strings.
+func goldenRegistry() *telemetry.Registry {
+	reg := telemetry.NewRegistry()
+	reg.Counter("machine.icache.reads", "load + fetch accesses").Add(123456)
+	reg.Counter("machine.icache.read_misses", "load + fetch misses").Add(789)
+	g := reg.Gauge("machine.wbuf.depth", "pending write-buffer entries")
+	g.Set(3)
+	g.Set(2)
+	h := reg.Histogram("machine.dcache.miss_cost_cycles", "per-miss fill cost")
+	for _, v := range []uint64{6, 6, 14} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+const goldenTable = "telemetry snapshot\n" +
+	"Metric                           Type       Value   Detail      \n" +
+	"-------------------------------  ---------  ------  ------------\n" +
+	"machine.dcache.miss_cost_cycles  histogram  26      n=3 mean=8.7\n" +
+	"machine.icache.read_misses       counter    789                 \n" +
+	"machine.icache.reads             counter    123456              \n" +
+	"machine.wbuf.depth               gauge      2       max 3       \n"
+
+func TestMetricsTableGolden(t *testing.T) {
+	got := telemetry.MetricsTable("telemetry snapshot", goldenRegistry().Snapshot())
+	if got != goldenTable {
+		t.Errorf("MetricsTable output drifted from golden:\ngot:\n%q\nwant:\n%q", got, goldenTable)
+	}
+}
+
+const goldenJSONL = `{"type":"manifest","command":"memalloc","args":["table6"],"start":"1994-04-18T09:00:00Z","go_version":"go0.0"}
+{"name":"machine.dcache.miss_cost_cycles","type":"histogram","help":"per-miss fill cost","value":8.666666666666666,"count":3,"sum":26,"buckets":[{"lo":4,"hi":7,"count":2},{"lo":8,"hi":15,"count":1}]}
+{"name":"machine.icache.read_misses","type":"counter","help":"load + fetch misses","value":789}
+{"name":"machine.icache.reads","type":"counter","help":"load + fetch accesses","value":123456}
+{"name":"machine.wbuf.depth","type":"gauge","help":"pending write-buffer entries","value":2,"max":3}
+`
+
+func TestWriteJSONLGolden(t *testing.T) {
+	// The manifest is pinned (a real run stamps wall time and toolchain),
+	// so the whole file is reproducible byte for byte.
+	m := &telemetry.Manifest{
+		Command:   "memalloc",
+		Args:      []string{"table6"},
+		Start:     "1994-04-18T09:00:00Z",
+		GoVersion: "go0.0",
+	}
+	var b strings.Builder
+	if err := telemetry.WriteJSONL(&b, m, goldenRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != goldenJSONL {
+		t.Errorf("WriteJSONL output drifted from golden:\ngot:\n%q\nwant:\n%q", b.String(), goldenJSONL)
+	}
+}

@@ -9,6 +9,7 @@ package search
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"onchip/internal/area"
 )
@@ -102,13 +103,59 @@ func (a Allocation) String() string {
 		a.TLB, a.ICache, a.DCache, a.AreaRBE, a.CPI)
 }
 
+// Progress is a snapshot of a running enumeration, delivered to the
+// callback installed with WithProgress.
+type Progress struct {
+	// Priced is the number of TLB x I-cache x D-cache combinations
+	// considered so far; Total the size of the whole space.
+	Priced, Total int
+	// Kept is the number of combinations within the area budget so far.
+	Kept int
+	// Elapsed is the wall time since enumeration began; ETA the
+	// estimated remaining time, extrapolated from the pricing rate.
+	Elapsed, ETA time.Duration
+	// Done marks the final report (Priced == Total).
+	Done bool
+}
+
+func (p Progress) String() string {
+	if p.Done {
+		return fmt.Sprintf("priced %d/%d configs, %d within budget, %.2fs",
+			p.Priced, p.Total, p.Kept, p.Elapsed.Seconds())
+	}
+	return fmt.Sprintf("priced %d/%d configs (%.0f%%), %d within budget, ETA %.1fs",
+		p.Priced, p.Total, 100*float64(p.Priced)/float64(p.Total), p.Kept, p.ETA.Seconds())
+}
+
+// Option configures an enumeration.
+type Option func(*options)
+
+type options struct {
+	progress      func(Progress)
+	progressEvery int
+}
+
+// WithProgress installs a callback that receives sweep progress roughly
+// every `every` combinations (0 selects a default granularity) and once
+// more with Done set when enumeration completes.
+func WithProgress(every int, f func(Progress)) Option {
+	return func(o *options) {
+		o.progress = f
+		o.progressEvery = every
+	}
+}
+
 // Enumerate prices every combination in the space, filters to the area
 // budget, computes total CPI with the performance model, and returns the
 // allocations sorted by ascending CPI (ties by ascending area). Component
 // areas and CPIs are computed once per distinct configuration, so the
 // full Table 5 space (about a quarter-million combinations) enumerates
 // in milliseconds.
-func Enumerate(space Space, am area.Model, budget float64, pm PerfModel) []Allocation {
+func Enumerate(space Space, am area.Model, budget float64, pm PerfModel, opts ...Option) []Allocation {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
 	type pricedTLB struct {
 		cfg       area.TLBConfig
 		area, cpi float64
@@ -130,27 +177,55 @@ func Enumerate(space Space, am area.Model, budget float64, pm PerfModel) []Alloc
 
 	base := pm.BaseCPI()
 	var out []Allocation
+
+	// Progress accounting: a (TLB, I-cache) pair over budget prunes all
+	// |caches| D-cache combinations at once; count them as priced so
+	// Priced converges on Total.
+	spaceSize := len(tlbs) * len(caches) * len(caches)
+	every := o.progressEvery
+	if every <= 0 {
+		every = 1 << 16
+	}
+	priced, nextReport := 0, every
+	start := time.Now()
+	report := func(done bool) {
+		if o.progress == nil {
+			return
+		}
+		p := Progress{Priced: priced, Total: spaceSize, Kept: len(out), Elapsed: time.Since(start), Done: done}
+		if !done && priced > 0 {
+			p.ETA = time.Duration(float64(p.Elapsed) * float64(spaceSize-priced) / float64(priced))
+		}
+		o.progress(p)
+	}
+
 	for _, t := range tlbs {
 		for _, ic := range caches {
 			at := t.area + ic.area
 			if at > budget {
-				continue
-			}
-			for _, dc := range caches {
-				total := at + dc.area
-				if total > budget {
-					continue
+				priced += len(caches)
+			} else {
+				for _, dc := range caches {
+					total := at + dc.area
+					if total <= budget {
+						out = append(out, Allocation{
+							TLB:     t.cfg,
+							ICache:  ic.cfg,
+							DCache:  dc.cfg,
+							AreaRBE: total,
+							CPI:     base + t.cpi + ic.icpi + dc.dcpi,
+						})
+					}
 				}
-				out = append(out, Allocation{
-					TLB:     t.cfg,
-					ICache:  ic.cfg,
-					DCache:  dc.cfg,
-					AreaRBE: total,
-					CPI:     base + t.cpi + ic.icpi + dc.dcpi,
-				})
+				priced += len(caches)
+			}
+			if priced >= nextReport {
+				report(false)
+				nextReport = priced + every
 			}
 		}
 	}
+	report(true)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].CPI != out[j].CPI {
 			return out[i].CPI < out[j].CPI
@@ -164,8 +239,8 @@ func Enumerate(space Space, am area.Model, budget float64, pm PerfModel) []Alloc
 // used to impose the access-time (cycle-time) constraint of the paper's
 // proposed extension, or any other designer rule.
 func EnumerateFiltered(space Space, am area.Model, budget float64, pm PerfModel,
-	keep func(tlb area.TLBConfig, icache, dcache area.CacheConfig) bool) []Allocation {
-	all := Enumerate(space, am, budget, pm)
+	keep func(tlb area.TLBConfig, icache, dcache area.CacheConfig) bool, opts ...Option) []Allocation {
+	all := Enumerate(space, am, budget, pm, opts...)
 	out := all[:0]
 	for _, a := range all {
 		if keep(a.TLB, a.ICache, a.DCache) {

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"onchip/internal/testutil"
 )
 
 func TestSampleMoments(t *testing.T) {
@@ -14,17 +16,11 @@ func TestSampleMoments(t *testing.T) {
 	if s.N() != 8 {
 		t.Fatalf("N = %d", s.N())
 	}
-	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
-		t.Errorf("Mean = %g, want 5", got)
-	}
+	testutil.WithinAbs(t, "Mean", s.Mean(), 5, 1e-12)
 	// Population variance of this classic set is 4; unbiased sample
 	// variance is 32/7.
-	if got := s.Variance(); math.Abs(got-32.0/7.0) > 1e-12 {
-		t.Errorf("Variance = %g, want %g", got, 32.0/7.0)
-	}
-	if got := s.StdErr(); math.Abs(got-s.StdDev()/math.Sqrt(8)) > 1e-12 {
-		t.Errorf("StdErr = %g", got)
-	}
+	testutil.WithinAbs(t, "Variance", s.Variance(), 32.0/7.0, 1e-12)
+	testutil.WithinAbs(t, "StdErr", s.StdErr(), s.StdDev()/math.Sqrt(8), 1e-12)
 }
 
 func TestSampleEmptyAndSingle(t *testing.T) {
@@ -49,9 +45,7 @@ func TestRelErr95(t *testing.T) {
 }
 
 func TestRelativeError(t *testing.T) {
-	if got := RelativeError(11, 10); math.Abs(got-0.1) > 1e-12 {
-		t.Errorf("RelativeError(11,10) = %g", got)
-	}
+	testutil.WithinAbs(t, "RelativeError(11,10)", RelativeError(11, 10), 0.1, 1e-12)
 	if got := RelativeError(0, 0); got != 0 {
 		t.Errorf("RelativeError(0,0) = %g", got)
 	}

@@ -1,0 +1,42 @@
+package telemetry
+
+import "testing"
+
+// The nil-instrument benchmarks document the off-path cost that
+// instrumented hot loops pay: an inlined nil check, fractions of a
+// nanosecond per probe.
+
+func BenchmarkCounterAddNil(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Add(uint64(i))
+	}
+}
+
+func BenchmarkCounterAddLive(b *testing.B) {
+	c := NewRegistry().Counter("c", "")
+	for i := 0; i < b.N; i++ {
+		c.Add(uint64(i))
+	}
+}
+
+func BenchmarkHistogramObserveNil(b *testing.B) {
+	var h *Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}
+
+func BenchmarkHistogramObserveLive(b *testing.B) {
+	h := NewRegistry().Histogram("h", "")
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}
+
+func BenchmarkTracerRecordLive(b *testing.B) {
+	tr := NewTracer(DefaultTracerDepth)
+	for i := 0; i < b.N; i++ {
+		tr.Record(Event{Kind: 1, Addr: uint32(i), Cycles: 7})
+	}
+}

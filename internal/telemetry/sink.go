@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"onchip/internal/report"
+)
+
+// Manifest identifies a run: which command produced the metrics, with
+// what arguments, when, on which toolchain. It is the first line of a
+// JSONL metrics dump so a file is self-describing.
+type Manifest struct {
+	Command   string            `json:"command"`
+	Args      []string          `json:"args,omitempty"`
+	Start     string            `json:"start,omitempty"` // RFC 3339
+	GoVersion string            `json:"go_version,omitempty"`
+	Labels    map[string]string `json:"labels,omitempty"`
+}
+
+// WriteJSONL emits the manifest (when non-nil) followed by one metric
+// per line, each a standalone JSON object. Every line carries a "type"
+// field: "manifest" for the header line, then the metric's own type
+// ("counter", "gauge" or "histogram"). Metrics should come from
+// Registry.Snapshot and are emitted in the given (sorted) order.
+func WriteJSONL(w io.Writer, m *Manifest, metrics []Metric) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if m != nil {
+		raw, err := json.Marshal(m)
+		if err != nil {
+			return err
+		}
+		line := []byte(`{"type":"manifest"}`)
+		if len(raw) > 2 {
+			line = append(append([]byte(`{"type":"manifest",`), raw[1:len(raw)-1]...), '}')
+		}
+		if err := enc.Encode(json.RawMessage(line)); err != nil {
+			return err
+		}
+	}
+	for i := range metrics {
+		if err := enc.Encode(metrics[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// MetricsTable renders a metric snapshot as an aligned plain-text table
+// via the repo's standard renderer, for the human-readable end of the
+// sink pair.
+func MetricsTable(title string, metrics []Metric) string {
+	t := report.NewTable(title, "Metric", "Type", "Value", "Detail")
+	for _, m := range metrics {
+		detail := ""
+		switch m.Type {
+		case "gauge":
+			detail = fmt.Sprintf("max %g", m.Max)
+		case "histogram":
+			detail = fmt.Sprintf("n=%d mean=%.1f", m.Count, m.Value)
+		}
+		value := fmt.Sprintf("%g", m.Value)
+		if m.Type == "histogram" {
+			value = fmt.Sprintf("%d", m.Sum)
+		}
+		t.Row(m.Name, m.Type, value, detail)
+	}
+	return t.String()
+}

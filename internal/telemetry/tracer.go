@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Event is one machine-level occurrence: a reference that was charged
+// stall cycles to a component. The numeric Kind and Comp codes belong to
+// the producer (package machine); the producer supplies name functions
+// when dumping.
+type Event struct {
+	Seq    uint64 // position in the whole run, 0-based
+	Kind   uint8  // reference kind (trace.Kind)
+	Addr   uint32 // virtual address of the reference
+	ASID   uint8  // address space
+	Comp   uint8  // component charged
+	Cycles uint32 // stall cycles charged
+}
+
+// Probe receives fine-grained events from instrumented code. *Tracer
+// implements it; Nop is the no-op default for call sites that want an
+// always-valid interface value instead of a nil check.
+type Probe interface {
+	Event(Event)
+}
+
+// Nop is the no-op Probe.
+type Nop struct{}
+
+// Event implements Probe by discarding the event.
+func (Nop) Event(Event) {}
+
+// Tracer is a bounded event ring: it keeps the most recent events,
+// mirroring the paper's Monster setup, whose logic analyzer captured a
+// 128K-entry window of machine transactions at the CPU pins for
+// post-mortem inspection. The nil *Tracer is a valid no-op instrument.
+// Not safe for concurrent recorders.
+type Tracer struct {
+	buf []Event
+	n   uint64 // events ever recorded
+}
+
+// DefaultTracerDepth matches Monster's 128K-entry logic-analyzer buffer.
+const DefaultTracerDepth = 128 << 10
+
+// NewTracer returns a ring holding the last depth events; depth <= 0
+// selects DefaultTracerDepth.
+func NewTracer(depth int) *Tracer {
+	if depth <= 0 {
+		depth = DefaultTracerDepth
+	}
+	return &Tracer{buf: make([]Event, 0, depth)}
+}
+
+// Record appends an event, evicting the oldest once the ring is full.
+func (t *Tracer) Record(ev Event) {
+	if t == nil {
+		return
+	}
+	ev.Seq = t.n
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.n%uint64(cap(t.buf))] = ev
+	}
+	t.n++
+}
+
+// Event implements Probe.
+func (t *Tracer) Event(ev Event) { t.Record(ev) }
+
+// Total returns the number of events ever recorded (including evicted
+// ones).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Len returns the number of events currently held.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Events returns the captured window, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil || len(t.buf) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(t.buf))
+	if len(t.buf) < cap(t.buf) {
+		return append(out, t.buf...)
+	}
+	head := int(t.n % uint64(cap(t.buf))) // oldest entry
+	out = append(out, t.buf[head:]...)
+	return append(out, t.buf[:head]...)
+}
+
+// WriteJSONL dumps the captured window as JSONL, one event per line,
+// oldest first. kindName and compName translate the producer's numeric
+// codes; nil funcs emit the raw numbers.
+func (t *Tracer) WriteJSONL(w io.Writer, kindName, compName func(uint8) string) error {
+	bw := bufio.NewWriter(w)
+	for _, ev := range t.Events() {
+		kind, comp := fmt.Sprintf("%d", ev.Kind), fmt.Sprintf("%d", ev.Comp)
+		if kindName != nil {
+			kind = kindName(ev.Kind)
+		}
+		if compName != nil {
+			comp = compName(ev.Comp)
+		}
+		// Hand-rolled for speed and stable field order; values are
+		// numbers and name-function strings (no escaping needed for the
+		// producers in this repo).
+		if _, err := fmt.Fprintf(bw, `{"type":"event","seq":%d,"kind":%q,"addr":"0x%08x","asid":%d,"comp":%q,"cycles":%d}`+"\n",
+			ev.Seq, kind, ev.Addr, ev.ASID, comp, ev.Cycles); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,57 @@
+// Package testutil provides the fuzzy floating-point assertions the
+// package tests share: almost every number this repo checks is a
+// simulated or modeled quantity compared against a paper figure or an
+// analytic value, so "equal" almost always means "within tolerance".
+package testutil
+
+import (
+	"math"
+	"testing"
+)
+
+// defaultEpsilon is the relative slack ApproxEqual allows: tight enough
+// to catch any algorithmic difference, loose enough to absorb the
+// rounding of a reordered float sum.
+const defaultEpsilon = 1e-9
+
+// ApproxEqual fails t unless got and want agree to within a tiny
+// relative epsilon. Use it where the values should match analytically
+// and only accumulated rounding may differ.
+func ApproxEqual(t testing.TB, name string, got, want float64) {
+	t.Helper()
+	Within(t, name, got, want, defaultEpsilon)
+}
+
+// Within fails t unless |got-want| <= tol*|want| (relative tolerance).
+// A zero want falls back to an absolute comparison against tol, since a
+// relative error against zero is meaningless.
+func Within(t testing.TB, name string, got, want, tol float64) {
+	t.Helper()
+	if got == want {
+		return
+	}
+	if want == 0 {
+		if math.Abs(got) > tol {
+			t.Errorf("%s = %g, want 0 (+/- %g)", name, got, tol)
+		}
+		return
+	}
+	rel := math.Abs(got-want) / math.Abs(want)
+	if math.IsNaN(rel) || rel > tol {
+		t.Errorf("%s = %g, want %g (+/- %.3g%%); off by %.3g%%", name, got, want, tol*100, rel*100)
+	}
+}
+
+// WithinAbs fails t unless |got-want| <= abs (absolute tolerance). Use
+// it where the scale of the values is known and small, e.g. ratios and
+// probabilities.
+func WithinAbs(t testing.TB, name string, got, want, abs float64) {
+	t.Helper()
+	if got == want {
+		return
+	}
+	d := math.Abs(got - want)
+	if math.IsNaN(d) || d > abs {
+		t.Errorf("%s = %g, want %g (+/- %g); off by %g", name, got, want, abs, d)
+	}
+}

@@ -1,0 +1,83 @@
+package testutil
+
+import (
+	"math"
+	"testing"
+)
+
+// recorder counts Errorf calls without failing the real test.
+type recorder struct {
+	testing.TB
+	failures int
+}
+
+func (r *recorder) Helper()                       {}
+func (r *recorder) Errorf(string, ...interface{}) { r.failures++ }
+
+func TestWithinAccepts(t *testing.T) {
+	cases := []struct{ got, want, tol float64 }{
+		{100, 100, 0},      // exact equality needs no tolerance
+		{102, 100, 0.05},   // within 5%
+		{98, 100, 0.05},    // low side
+		{0, 0, 0},          // both zero
+		{1e-12, 0, 1e-9},   // zero want: absolute fallback
+		{-102, -100, 0.05}, // negative values use |want|
+		{1e18, 1.000001e18, 1e-5},
+	}
+	for _, c := range cases {
+		r := &recorder{TB: t}
+		Within(r, "x", c.got, c.want, c.tol)
+		if r.failures != 0 {
+			t.Errorf("Within(%g, %g, %g) failed, want pass", c.got, c.want, c.tol)
+		}
+	}
+}
+
+func TestWithinRejects(t *testing.T) {
+	cases := []struct{ got, want, tol float64 }{
+		{106, 100, 0.05},
+		{94, 100, 0.05},
+		{1, 0, 0.5}, // zero want, outside absolute slack
+		{math.NaN(), 100, 0.5},
+	}
+	for _, c := range cases {
+		r := &recorder{TB: t}
+		Within(r, "x", c.got, c.want, c.tol)
+		if r.failures != 1 {
+			t.Errorf("Within(%g, %g, %g) passed, want failure", c.got, c.want, c.tol)
+		}
+	}
+}
+
+func TestWithinAbs(t *testing.T) {
+	r := &recorder{TB: t}
+	WithinAbs(r, "x", 0.1000000001, 0.1, 1e-6)
+	WithinAbs(r, "x", 0.5, 0.5, 0)
+	if r.failures != 0 {
+		t.Errorf("WithinAbs accepted-case failures = %d, want 0", r.failures)
+	}
+	r = &recorder{TB: t}
+	WithinAbs(r, "x", 0.2, 0.1, 1e-6)
+	WithinAbs(r, "x", math.NaN(), 0.1, 1e-6)
+	if r.failures != 2 {
+		t.Errorf("WithinAbs rejected-case failures = %d, want 2", r.failures)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	// Ten additions of 0.1: analytically 1.0, off by an ulp or two.
+	sum := 0.0
+	for i := 0; i < 10; i++ {
+		sum += 0.1
+	}
+	r := &recorder{TB: t}
+	ApproxEqual(r, "sum", sum, 1.0)
+	if r.failures != 0 {
+		t.Errorf("ApproxEqual(%g, 1.0) failed, want pass", sum)
+	}
+	r = &recorder{TB: t}
+	ApproxEqual(r, "sum", 1.001, 1.0)
+	if r.failures != 1 {
+		t.Error("ApproxEqual(1.001, 1.0) passed, want failure")
+	}
+}

@@ -3,6 +3,7 @@ package tlb
 import (
 	"fmt"
 
+	"onchip/internal/telemetry"
 	"onchip/internal/vm"
 )
 
@@ -132,6 +133,23 @@ func (m *Managed) Costs() CostModel { return m.costs }
 // OnMiss registers a hook invoked for every translation miss, including
 // nested page-table misses.
 func (m *Managed) OnMiss(f func(MissEvent)) { m.onMiss = append(m.onMiss, f) }
+
+// Describe publishes the managed TLB's refill-path counters with the
+// registry under prefix (e.g. "machine.tlb"): probe/miss totals from the
+// hardware TLB plus per-class miss counts and handler cycles. Pull-style
+// (evaluated at snapshot), so the translate hot path is untouched. Safe
+// to call with a nil registry.
+func (m *Managed) Describe(reg *telemetry.Registry, prefix string) {
+	reg.CounterFunc(prefix+".probes", "translation probes", func() uint64 { return m.tlb.Stats().Probes })
+	reg.CounterFunc(prefix+".misses", "translation misses", func() uint64 { return m.tlb.Stats().Misses })
+	for class := UserMiss; class < nMissClasses; class++ {
+		class := class
+		reg.CounterFunc(prefix+".refills."+class.String(), "refills by miss class",
+			func() uint64 { return m.service.Count[class] })
+		reg.CounterFunc(prefix+".refill_cycles."+class.String(), "handler cycles by miss class",
+			func() uint64 { return m.service.Cycles[class] })
+	}
+}
 
 // ResetService zeroes the service counters while keeping TLB contents
 // and first-touch tracking: used to discard warm-up transients before

@@ -5,6 +5,8 @@
 // paper's Monster measurements attribute (Tables 3 and 4).
 package wbuf
 
+import "onchip/internal/telemetry"
+
 // Config describes a write buffer.
 type Config struct {
 	// Entries is the buffer depth. The DECstation 3100 used a 4-entry
@@ -26,6 +28,12 @@ type Buffer struct {
 	retire []uint64
 	stalls uint64
 	writes uint64
+
+	// Optional telemetry (nil-safe no-ops when unset): occupancy is the
+	// queue depth seen by each arriving store, retireDelay the cycles
+	// from enqueue to retirement.
+	occupancy   *telemetry.Histogram
+	retireDelay *telemetry.Histogram
 }
 
 // New returns a Buffer for cfg; it panics on non-positive parameters.
@@ -42,6 +50,7 @@ func New(cfg Config) *Buffer {
 func (b *Buffer) Write(now uint64) uint64 {
 	b.writes++
 	b.drain(now)
+	b.occupancy.Observe(uint64(len(b.retire)))
 	var stall uint64
 	if len(b.retire) == b.cfg.Entries {
 		// Full: wait for the oldest entry to retire.
@@ -55,10 +64,28 @@ func (b *Buffer) Write(now uint64) uint64 {
 	if n := len(b.retire); n > 0 && b.retire[n-1] > start {
 		start = b.retire[n-1]
 	}
-	b.retire = append(b.retire, start+uint64(b.cfg.WriteCycles))
+	retireAt := start + uint64(b.cfg.WriteCycles)
+	b.retire = append(b.retire, retireAt)
+	b.retireDelay.Observe(retireAt - now)
 	b.stalls += stall
 	return stall
 }
+
+// Describe attaches occupancy and retire-delay histograms under prefix
+// (e.g. "machine.wbuf") and publishes the buffer's counters. Safe to
+// call with a nil registry (the histograms stay nil no-ops).
+func (b *Buffer) Describe(reg *telemetry.Registry, prefix string) {
+	if reg != nil {
+		b.occupancy = reg.Histogram(prefix+".occupancy", "queue depth seen by arriving stores")
+		b.retireDelay = reg.Histogram(prefix+".retire_delay_cycles", "cycles from enqueue to retirement")
+	}
+	reg.CounterFunc(prefix+".writes", "stores buffered", func() uint64 { return b.writes })
+	reg.CounterFunc(prefix+".stall_cycles", "full-buffer stall cycles", func() uint64 { return b.stalls })
+}
+
+// Depth returns the number of entries currently queued, without
+// draining; the machine model publishes it as a gauge after each store.
+func (b *Buffer) Depth() int { return len(b.retire) }
 
 // drain removes entries that have retired by cycle now.
 func (b *Buffer) drain(now uint64) {
