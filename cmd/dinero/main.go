@@ -23,6 +23,7 @@ import (
 	"onchip/internal/area"
 	"onchip/internal/cache"
 	"onchip/internal/machine"
+	"onchip/internal/obs"
 	"onchip/internal/telemetry"
 	"onchip/internal/tlb"
 	"onchip/internal/trace"
@@ -43,6 +44,7 @@ func main() {
 	tlbAssoc := flag.Int("tlbassoc", 0, "TLB associativity (0 = fully associative)")
 	wbEntries := flag.Int("wb", 4, "write buffer entries")
 	metricsFile := flag.String("metrics", "", "write run manifest and metrics as JSONL to this file")
+	serveAddr := flag.String("serve", "", "serve live observability endpoints on this address (e.g. :6060)")
 	flag.Parse()
 
 	if *in == "" {
@@ -80,8 +82,32 @@ func main() {
 	}
 
 	start := time.Now()
-	if *metricsFile != "" {
+	if *metricsFile != "" || *serveAddr != "" {
 		cfg.Metrics = telemetry.NewRegistry()
+	}
+	man := &telemetry.Manifest{
+		Command:   "dinero",
+		Args:      os.Args[1:],
+		Start:     start.Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Labels:    map[string]string{"trace": *in},
+	}
+	if *serveAddr != "" {
+		cfg.Tracer = telemetry.NewTracer(telemetry.DefaultTracerDepth)
+		srv := obs.New(obs.Config{
+			Registry: cfg.Metrics,
+			Tracer:   cfg.Tracer,
+			Manifest: man,
+			KindName: machine.KindName,
+			CompName: machine.CompName,
+		})
+		bound, err := srv.Start(*serveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dinero: serve:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "dinero: observability plane on http://%s/\n", bound)
 	}
 	m := machine.New(cfg)
 	n, err := r.Drain(m)
@@ -89,6 +115,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dinero:", err)
 		os.Exit(1)
 	}
+	m.FlushMetrics()
 
 	fmt.Printf("trace: %s (%d references, %d instructions)\n\n", *in, n, m.Instructions())
 	printCache := "I-cache"
@@ -113,14 +140,7 @@ func main() {
 	fmt.Printf("\n%v\n", m.Breakdown())
 	fmt.Printf("simulated time at %.2f MHz: %.3f s\n", machine.ClockHz/1e6, m.Breakdown().Seconds())
 
-	if cfg.Metrics != nil {
-		man := &telemetry.Manifest{
-			Command:   "dinero",
-			Args:      os.Args[1:],
-			Start:     start.Format(time.RFC3339),
-			GoVersion: runtime.Version(),
-			Labels:    map[string]string{"trace": *in},
-		}
+	if *metricsFile != "" {
 		f, err := os.Create(*metricsFile)
 		if err == nil {
 			err = telemetry.WriteJSONL(f, man, cfg.Metrics.Snapshot())

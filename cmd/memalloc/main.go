@@ -25,6 +25,19 @@
 //	                as they finish, sweep and search progress with ETA
 //	-pprof ADDR     serve net/http/pprof on ADDR (e.g. localhost:6060)
 //	                for the duration of the run
+//	-serve ADDR     serve the live observability plane on ADDR for the
+//	                duration of the run: GET /metrics (Prometheus),
+//	                /snapshot (JSON), /events (SSE tail of the stall-
+//	                event ring), /sweep (enumeration progress) and
+//	                /series (sampled metric time series)
+//
+// Run history (see EXPERIMENTS.md "Live monitoring"):
+//
+//	memalloc history [-refs N] [-o FILE] <experiment>...
+//	                persist the end-of-run metric snapshot as
+//	                BENCH_<runid>.json
+//	memalloc compare [-threshold F] <a.json> <b.json>
+//	                diff two snapshots; non-zero exit on regression
 package main
 
 import (
@@ -38,6 +51,7 @@ import (
 
 	"onchip/internal/experiments"
 	"onchip/internal/machine"
+	"onchip/internal/obs"
 	"onchip/internal/telemetry"
 )
 
@@ -51,6 +65,7 @@ func run() int {
 	traceFile := flag.String("trace", "", "write the machine stall-event window as JSONL to this file")
 	progress := flag.Bool("progress", false, "stream live progress lines to stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	serveAddr := flag.String("serve", "", "serve live observability endpoints on this address (e.g. :6060)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -59,7 +74,8 @@ func run() int {
 		usage()
 		return 2
 	}
-	if args[0] == "list" {
+	switch args[0] {
+	case "list":
 		if len(args) > 1 {
 			fmt.Fprintf(os.Stderr, "memalloc: \"list\" takes no further arguments (got %q)\n", args[1:])
 			return 2
@@ -68,23 +84,14 @@ func run() int {
 			fmt.Printf("  %-9s %s\n", id, experiments.Title(id))
 		}
 		return 0
+	case "history":
+		return runHistory(args[1:], *refs)
+	case "compare":
+		return runCompare(args[1:])
 	}
-	ids := args
-	if args[0] == "all" {
-		if len(args) > 1 {
-			fmt.Fprintf(os.Stderr, "memalloc: \"all\" takes no further arguments (got %q)\n", args[1:])
-			return 2
-		}
-		ids = experiments.IDs()
-	} else {
-		// Validate every id up front so a typo after valid ids fails
-		// fast, names the offender, and runs nothing.
-		for _, id := range ids {
-			if experiments.Title(id) == "" {
-				fmt.Fprintf(os.Stderr, "memalloc: unknown experiment %q (run \"memalloc list\" for the catalog)\n", id)
-				return 2
-			}
-		}
+	ids, code := resolveExperiments(args)
+	if code >= 0 {
+		return code
 	}
 
 	if *pprofAddr != "" {
@@ -97,10 +104,10 @@ func run() int {
 	}
 
 	opt := experiments.Options{Refs: *refs}
-	if *metricsFile != "" {
+	if *metricsFile != "" || *serveAddr != "" {
 		opt.Metrics = telemetry.NewRegistry()
 	}
-	if *traceFile != "" {
+	if *traceFile != "" || *serveAddr != "" {
 		opt.Tracer = telemetry.NewTracer(telemetry.DefaultTracerDepth)
 	}
 	if *progress {
@@ -108,6 +115,30 @@ func run() int {
 	}
 
 	start := time.Now()
+	man := &telemetry.Manifest{
+		Command:   "memalloc",
+		Args:      os.Args[1:],
+		Start:     start.Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Labels:    map[string]string{"experiments": fmt.Sprint(ids)},
+	}
+	if *serveAddr != "" {
+		srv := obs.New(obs.Config{
+			Registry: opt.Metrics,
+			Tracer:   opt.Tracer,
+			Manifest: man,
+			KindName: machine.KindName,
+			CompName: machine.CompName,
+		})
+		bound, err := srv.Start(*serveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memalloc: serve:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "memalloc: observability plane on http://%s/\n", bound)
+		opt.SweepObserver = srv.ObserveSweep
+	}
 	failed := false
 	for _, id := range ids {
 		t0 := time.Now()
@@ -124,20 +155,13 @@ func run() int {
 		fmt.Println()
 	}
 
-	if opt.Metrics != nil {
-		m := &telemetry.Manifest{
-			Command:   "memalloc",
-			Args:      os.Args[1:],
-			Start:     start.Format(time.RFC3339),
-			GoVersion: runtime.Version(),
-			Labels:    map[string]string{"experiments": fmt.Sprint(ids)},
-		}
-		if err := writeMetrics(*metricsFile, m, opt.Metrics.Snapshot()); err != nil {
+	if *metricsFile != "" {
+		if err := writeMetrics(*metricsFile, man, opt.Metrics.Snapshot()); err != nil {
 			fmt.Fprintln(os.Stderr, "memalloc:", err)
 			failed = true
 		}
 	}
-	if opt.Tracer != nil {
+	if *traceFile != "" {
 		if err := writeTrace(*traceFile, opt.Tracer); err != nil {
 			fmt.Fprintln(os.Stderr, "memalloc:", err)
 			failed = true
@@ -175,10 +199,14 @@ func writeTrace(path string, tr *telemetry.Tracer) error {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: memalloc [flags] list | all | <experiment>...
+       memalloc history [-refs N] [-dir DIR | -o FILE] <experiment>... | all
+       memalloc compare [-threshold F] <a.json> <b.json>
 
 Reproduces the evaluation of "Optimal Allocation of On-chip Memory for
 Multiple-API Operating Systems" (ISCA 1994). Run "memalloc list" for the
-experiment catalog.
+experiment catalog. "history" persists an end-of-run metric snapshot as
+BENCH_<runid>.json; "compare" diffs two snapshots and exits non-zero on
+regression.
 `)
 	flag.PrintDefaults()
 }

@@ -7,16 +7,21 @@
 //
 //	monster -workload mpeg_play -refs 2000000          # Ultrix, Mach and user-only
 //	monster -suite                                     # all workloads (Table 4)
+//	monster -suite -metrics run.jsonl -serve :6060     # with the observability plane
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"onchip/internal/machine"
 	"onchip/internal/monitor"
+	"onchip/internal/obs"
 	"onchip/internal/osmodel"
+	"onchip/internal/telemetry"
 	"onchip/internal/workload"
 )
 
@@ -24,26 +29,72 @@ func main() {
 	wl := flag.String("workload", "mpeg_play", "workload name")
 	refs := flag.Int("refs", 2_000_000, "references to simulate per run")
 	suite := flag.Bool("suite", false, "run the whole suite under both OSes (Table 4)")
+	metricsFile := flag.String("metrics", "", "write run manifest and metrics as JSONL to this file")
+	serveAddr := flag.String("serve", "", "serve live observability endpoints on this address (e.g. :6060)")
 	flag.Parse()
 
+	start := time.Now()
 	cfg := machine.DECstation3100()
+	var reg *telemetry.Registry
+	if *metricsFile != "" || *serveAddr != "" {
+		reg = telemetry.NewRegistry()
+		cfg.Metrics = reg
+	}
+	man := &telemetry.Manifest{
+		Command:   "monster",
+		Args:      os.Args[1:],
+		Start:     start.Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Labels:    map[string]string{"workload": *wl, "suite": fmt.Sprint(*suite)},
+	}
+	if *serveAddr != "" {
+		cfg.Tracer = telemetry.NewTracer(telemetry.DefaultTracerDepth)
+		srv := obs.New(obs.Config{
+			Registry: reg,
+			Tracer:   cfg.Tracer,
+			Manifest: man,
+			KindName: machine.KindName,
+			CompName: machine.CompName,
+		})
+		bound, err := srv.Start(*serveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "monster: serve:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "monster: observability plane on http://%s/\n", bound)
+	}
+
 	if *suite {
 		for _, v := range []osmodel.Variant{osmodel.Ultrix, osmodel.Mach} {
 			for _, row := range monitor.MeasureSuite(v, workload.All(), *refs, cfg) {
 				printRow(row)
 			}
 		}
-		return
+	} else {
+		spec, err := workload.ByName(*wl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "monster:", err)
+			os.Exit(1)
+		}
+		printRow(monitor.MeasureUserOnly(spec, *refs, cfg))
+		printRow(monitor.Measure(osmodel.Ultrix, spec, *refs, cfg))
+		printRow(monitor.Measure(osmodel.Mach, spec, *refs, cfg))
 	}
 
-	spec, err := workload.ByName(*wl)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "monster:", err)
-		os.Exit(1)
+	if *metricsFile != "" {
+		f, err := os.Create(*metricsFile)
+		if err == nil {
+			err = telemetry.WriteJSONL(f, man, reg.Snapshot())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "monster:", err)
+			os.Exit(1)
+		}
 	}
-	printRow(monitor.MeasureUserOnly(spec, *refs, cfg))
-	printRow(monitor.Measure(osmodel.Ultrix, spec, *refs, cfg))
-	printRow(monitor.Measure(osmodel.Mach, spec, *refs, cfg))
 }
 
 func printRow(r monitor.Row) {

@@ -17,6 +17,7 @@ import (
 
 	"onchip/internal/area"
 	"onchip/internal/machine"
+	"onchip/internal/obs"
 	"onchip/internal/osmodel"
 	"onchip/internal/tapeworm"
 	"onchip/internal/telemetry"
@@ -30,6 +31,7 @@ func main() {
 	osName := flag.String("os", "Mach", "operating system: Ultrix or Mach")
 	refs := flag.Int("refs", 2_000_000, "references to simulate")
 	metricsFile := flag.String("metrics", "", "write run manifest and metrics as JSONL to this file")
+	serveAddr := flag.String("serve", "", "serve live observability endpoints on this address (e.g. :6060)")
 	flag.Parse()
 
 	spec, err := workload.ByName(*wl)
@@ -63,15 +65,39 @@ func main() {
 	start := time.Now()
 	hw := tlb.NewManaged(tlb.R2000(), tlb.DefaultCosts())
 	var reg *telemetry.Registry
-	if *metricsFile != "" {
+	if *metricsFile != "" || *serveAddr != "" {
 		reg = telemetry.NewRegistry()
 		hw.Describe(reg, "tapeworm.hw_tlb")
 	}
+	man := &telemetry.Manifest{
+		Command:   "tapeworm",
+		Args:      os.Args[1:],
+		Start:     start.Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Labels:    map[string]string{"workload": spec.Name, "os": v.String()},
+	}
+	if *serveAddr != "" {
+		srv := obs.New(obs.Config{Registry: reg, Manifest: man})
+		bound, err := srv.Start(*serveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tapeworm: serve:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "tapeworm: observability plane on http://%s/\n", bound)
+	}
 	tw := tapeworm.Attach(hw, configs...)
+	instrC := reg.Counter("tapeworm.instructions", "instructions in the measured window")
+	reg.Counter("tapeworm.configs", "TLB configurations simulated simultaneously").
+		Add(uint64(len(configs)))
 	var instrs uint64
+	measuring := false
 	sink := trace.SinkFunc(func(r trace.Ref) {
 		if r.Kind == trace.IFetch {
 			instrs++
+			if measuring {
+				instrC.Inc() // live view of the measured window only
+			}
 		}
 		hw.Translate(r.Addr, r.ASID)
 	})
@@ -80,6 +106,7 @@ func main() {
 	hw.ResetService()
 	tw.ResetServices()
 	instrs = 0
+	measuring = true
 	sys.Generate(*refs, sink)
 
 	scale := float64(spec.FullRunInstrs) / float64(instrs)
@@ -94,19 +121,10 @@ func main() {
 			secs)
 	}
 
-	if reg != nil {
-		reg.Counter("tapeworm.instructions", "instructions in the measured window").Add(instrs)
-		reg.Counter("tapeworm.configs", "TLB configurations simulated simultaneously").Add(uint64(len(configs)))
-		m := &telemetry.Manifest{
-			Command:   "tapeworm",
-			Args:      os.Args[1:],
-			Start:     start.Format(time.RFC3339),
-			GoVersion: runtime.Version(),
-			Labels:    map[string]string{"workload": spec.Name, "os": v.String()},
-		}
+	if *metricsFile != "" {
 		f, err := os.Create(*metricsFile)
 		if err == nil {
-			err = telemetry.WriteJSONL(f, m, reg.Snapshot())
+			err = telemetry.WriteJSONL(f, man, reg.Snapshot())
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}

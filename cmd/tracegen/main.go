@@ -12,8 +12,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
+	"onchip/internal/obs"
 	"onchip/internal/osmodel"
+	"onchip/internal/telemetry"
 	"onchip/internal/trace"
 	"onchip/internal/workload"
 )
@@ -25,6 +29,8 @@ func main() {
 	out := flag.String("o", "", "output trace file (default stdout summary only)")
 	stat := flag.String("stat", "", "inspect an existing trace file instead of generating")
 	list := flag.Bool("list", false, "list workload names")
+	metricsFile := flag.String("metrics", "", "write run manifest and metrics as JSONL to this file")
+	serveAddr := flag.String("serve", "", "serve live observability endpoints on this address (e.g. :6060)")
 	flag.Parse()
 
 	if *list {
@@ -40,9 +46,45 @@ func main() {
 		}
 		return
 	}
-	if err := generate(*wl, *osName, *refs, *out); err != nil {
+
+	start := time.Now()
+	var reg *telemetry.Registry
+	if *metricsFile != "" || *serveAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
+	man := &telemetry.Manifest{
+		Command:   "tracegen",
+		Args:      os.Args[1:],
+		Start:     start.Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Labels:    map[string]string{"workload": *wl, "os": *osName},
+	}
+	if *serveAddr != "" {
+		srv := obs.New(obs.Config{Registry: reg, Manifest: man})
+		bound, err := srv.Start(*serveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen: serve:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "tracegen: observability plane on http://%s/\n", bound)
+	}
+	if err := generate(*wl, *osName, *refs, *out, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
+	}
+	if *metricsFile != "" {
+		f, err := os.Create(*metricsFile)
+		if err == nil {
+			err = telemetry.WriteJSONL(f, man, reg.Snapshot())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -56,7 +98,7 @@ func variant(name string) (osmodel.Variant, error) {
 	return 0, fmt.Errorf("unknown OS %q (want Ultrix or Mach)", name)
 }
 
-func generate(wl, osName string, refs int, out string) error {
+func generate(wl, osName string, refs int, out string, reg *telemetry.Registry) error {
 	spec, err := workload.ByName(wl)
 	if err != nil {
 		return err
@@ -66,6 +108,11 @@ func generate(wl, osName string, refs int, out string) error {
 		return err
 	}
 	var counter trace.Counter
+	// Publish the live counts pull-style so a -serve scrape watches the
+	// generation advance; the per-service-class OS counters come from
+	// SetMetrics below.
+	reg.CounterFunc("tracegen.references", "trace records generated",
+		func() uint64 { return counter.Total })
 	sinks := trace.Tee{&counter}
 	var w *trace.Writer
 	if out != "" {
@@ -80,7 +127,9 @@ func generate(wl, osName string, refs int, out string) error {
 		}
 		sinks = append(sinks, w)
 	}
-	gen := osmodel.NewSystem(v, spec).Run(refs, sinks)
+	sys := osmodel.NewSystem(v, spec)
+	sys.SetMetrics(reg)
+	gen := sys.Run(refs, sinks)
 	if w != nil {
 		if err := w.Flush(); err != nil {
 			return err

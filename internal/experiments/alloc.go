@@ -9,7 +9,9 @@ import (
 	"onchip/internal/osmodel"
 	"onchip/internal/report"
 	"onchip/internal/search"
+	"onchip/internal/telemetry"
 	"onchip/internal/tlb"
+	"onchip/internal/trace"
 	"onchip/internal/workload"
 )
 
@@ -42,6 +44,15 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) *search.M
 	var instrs uint64
 	var workloadsDone int
 
+	// Register the sweep's instruments up front so a live /metrics
+	// scrape sees the series (at zero) from the first second of the
+	// model-building phase, not only after the first workload lands.
+	opt.Metrics.GaugeFunc("sweep.workloads_total", "workloads in the model-building sweep",
+		func() float64 { return float64(len(specs)) })
+	wlDone := opt.Metrics.Counter("sweep.workloads_done", "workload sweeps completed")
+	sweepInstrs := opt.Metrics.Counter("sweep.instructions", "instructions simulated by the I-stream sweeps")
+	refsStreamed := opt.Metrics.Counter("sweep.references", "references generated for the cache sweeps so far")
+
 	// The per-workload sweeps are independent; run them concurrently
 	// and merge the counts under a lock. Each simulator is deterministic
 	// and the merged sums are order-independent, so parallel runs give
@@ -54,11 +65,11 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) *search.M
 			defer wg.Done()
 			// I-stream: single-pass all-associativity sweeps.
 			isweep := newICacheSweep(cacheCfgs, 8)
-			osmodel.NewSystem(osmodel.Mach, spec).Generate(refsEach, isweep)
+			osmodel.NewSystem(osmodel.Mach, spec).Generate(refsEach, meterRefs(isweep, refsStreamed))
 
 			// D-stream: direct simulation.
 			dsweep := newDCacheSweep(cacheCfgs)
-			osmodel.NewSystem(osmodel.Mach, spec).Generate(refsEach, dsweep)
+			osmodel.NewSystem(osmodel.Mach, spec).Generate(refsEach, meterRefs(dsweep, refsStreamed))
 
 			// TLBs: kernel-based (Tapeworm) simulation.
 			results, _ := runTapeworm(osmodel.Mach, spec, refsEach, tlbConfigs)
@@ -78,8 +89,8 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) *search.M
 			}
 			workloadsDone++
 			opt.progressf("sweep: %s done (%d/%d workloads)", spec.Name, workloadsDone, len(specs))
-			opt.Metrics.Counter("sweep.workloads_done", "workload sweeps completed").Inc()
-			opt.Metrics.Counter("sweep.instructions", "instructions simulated by the I-stream sweeps").Add(isweep.instrs)
+			wlDone.Inc()
+			sweepInstrs.Add(isweep.instrs)
 		}(spec)
 	}
 	wg.Wait()
@@ -101,13 +112,45 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) *search.M
 	return m
 }
 
+// meterRefs threads a sweep sink through a batched reference counter:
+// one atomic add per 64K references lands in the shared counter, so a
+// live /metrics scrape watches the sweep advance at negligible hot-path
+// cost. With metrics off (nil counter) the sink passes through
+// untouched.
+func meterRefs(next trace.Sink, c *telemetry.Counter) trace.Sink {
+	if c == nil {
+		return next
+	}
+	return &refMeter{next: next, c: c}
+}
+
+type refMeter struct {
+	next trace.Sink
+	c    *telemetry.Counter
+	n    uint64
+}
+
+const refMeterBatch = 1 << 16
+
+func (m *refMeter) Ref(r trace.Ref) {
+	m.next.Ref(r)
+	if m.n++; m.n%refMeterBatch == 0 {
+		m.c.Add(refMeterBatch)
+	}
+}
+
 func runAllocation(opt Options, space search.Space, title string, extraNotes []string) (Result, error) {
 	refs := opt.refs(defaultSweepRefs)
 	model := buildMeasuredModel(space, refs, opt)
 	var searchOpts []search.Option
-	if opt.Progress != nil {
+	if opt.Progress != nil || opt.SweepObserver != nil {
 		searchOpts = append(searchOpts, search.WithProgress(0, func(p search.Progress) {
-			opt.progressf("search: %s", p)
+			if opt.Progress != nil {
+				opt.progressf("search: %s", p)
+			}
+			if opt.SweepObserver != nil {
+				opt.SweepObserver(p)
+			}
 		}))
 	}
 	allocs := search.Enumerate(space, area.Default(), area.BudgetRBE, model, searchOpts...)

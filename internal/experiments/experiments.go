@@ -10,6 +10,7 @@ import (
 	"io"
 	"sort"
 
+	"onchip/internal/search"
 	"onchip/internal/telemetry"
 )
 
@@ -32,6 +33,11 @@ type Options struct {
 	// write, newline-terminated): suite measurements as they finish and
 	// design-space sweep/enumeration progress with ETA.
 	Progress io.Writer
+	// SweepObserver, when non-nil, receives structured design-space
+	// enumeration progress (the same snapshots Progress renders as
+	// text). The observability server installs itself here so a sweep
+	// in flight can be watched over GET /sweep.
+	SweepObserver func(search.Progress)
 }
 
 func (o Options) refs(def int) int {

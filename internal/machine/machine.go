@@ -147,12 +147,17 @@ type Machine struct {
 	l2Hit        uint64
 
 	// Telemetry. All nil (no-op) unless Config.Metrics/Tracer are set.
-	stallC    [nComponents]*telemetry.Counter
-	iMissHist *telemetry.Histogram
-	dMissHist *telemetry.Histogram
-	wbDepth   *telemetry.Gauge
-	tracer    *telemetry.Tracer
-	cur       trace.Ref // reference being simulated, for event attribution
+	stallC     [nComponents]*telemetry.Counter
+	instrC     *telemetry.Counter
+	cycleC     *telemetry.Counter
+	pendInstrs uint64 // counts batched locally, pushed every
+	pendCycles uint64 // counterFlushBatch refs (see Ref/FlushMetrics)
+	pendRefs   uint32
+	iMissHist  *telemetry.Histogram
+	dMissHist  *telemetry.Histogram
+	wbDepth    *telemetry.Gauge
+	tracer     *telemetry.Tracer
+	cur        trace.Ref // reference being simulated, for event attribution
 }
 
 // New assembles a machine; it panics on invalid component configs.
@@ -202,8 +207,12 @@ func New(cfg Config) *Machine {
 		}
 		m.tlb.Describe(reg, "machine.tlb")
 		m.wb.Describe(reg, "machine.wbuf")
-		reg.CounterFunc("machine.instructions", "instructions retired", func() uint64 { return m.instrs })
-		reg.CounterFunc("machine.cycles", "machine cycles", func() uint64 { return m.cycles })
+		// Instructions and cycles are push-style (unlike the component
+		// stats above) so a live /metrics scrape mid-run reads them
+		// without racing the simulation loop; Ref batches the pushes
+		// and FlushMetrics makes the totals exact at run end.
+		m.instrC = reg.Counter("machine.instructions", "instructions retired")
+		m.cycleC = reg.Counter("machine.cycles", "machine cycles")
 	}
 	return m
 }
@@ -239,12 +248,18 @@ func (m *Machine) event(c Component, cycles uint64) {
 	})
 }
 
+// KindName translates a telemetry.Event Kind code into the trace
+// package's reference-kind name, for event dumps and live event tails.
+func KindName(k uint8) string { return trace.Kind(k).String() }
+
+// CompName translates a telemetry.Event Comp code into the component's
+// metric-slug name, for event dumps and live event tails.
+func CompName(c uint8) string { return Component(c).slug() }
+
 // WriteTrace dumps a tracer's captured event window as JSONL with this
 // package's component names and the trace package's reference kinds.
 func WriteTrace(w io.Writer, t *telemetry.Tracer) error {
-	return t.WriteJSONL(w,
-		func(k uint8) string { return trace.Kind(k).String() },
-		func(c uint8) string { return Component(c).slug() })
+	return t.WriteJSONL(w, KindName, CompName)
 }
 
 // TLB exposes the managed TLB (for Tapeworm hookup).
@@ -263,8 +278,45 @@ func (m *Machine) Cycles() uint64 { return m.cycles }
 // Instructions returns instructions retired.
 func (m *Machine) Instructions() uint64 { return m.instrs }
 
+// counterFlushBatch is how many references accumulate locally before
+// the instruction/cycle totals are pushed into the shared (atomic)
+// telemetry counters: small enough that a live scrape lags the
+// simulation by microseconds, large enough that the atomic traffic
+// vanishes from the per-reference cost.
+const counterFlushBatch = 4096
+
 // Ref implements trace.Sink: simulate one reference.
 func (m *Machine) Ref(r trace.Ref) {
+	if m.cycleC == nil {
+		m.step(r)
+		return
+	}
+	c0, i0 := m.cycles, m.instrs
+	m.step(r)
+	m.pendCycles += m.cycles - c0
+	m.pendInstrs += m.instrs - i0
+	if m.pendRefs++; m.pendRefs >= counterFlushBatch {
+		m.FlushMetrics()
+	}
+}
+
+// FlushMetrics publishes the batched instruction/cycle counts into the
+// telemetry counters. The run loops that snapshot the registry call it
+// after the last reference so end-of-run metrics are exact; it is a
+// no-op with metrics off.
+func (m *Machine) FlushMetrics() {
+	if m.cycleC == nil {
+		return
+	}
+	m.cycleC.Add(m.pendCycles)
+	m.instrC.Add(m.pendInstrs)
+	m.pendCycles, m.pendInstrs, m.pendRefs = 0, 0, 0
+}
+
+// step simulates one reference; Ref wraps it to mirror the cycle and
+// instruction counts into the push-style telemetry counters when
+// metrics are on.
+func (m *Machine) step(r trace.Ref) {
 	if m.tracer != nil {
 		m.cur = r
 	}

@@ -28,6 +28,9 @@ func TestTelemetryIsNonInvasive(t *testing.T) {
 		plain.Ref(r)
 		instrumented.Ref(r)
 	}
+	// End of the run loop: publish the batched instruction/cycle counts
+	// so the snapshot below is exact, as the real run loops do.
+	instrumented.FlushMetrics()
 
 	if plain.Cycles() != instrumented.Cycles() || plain.Instructions() != instrumented.Instructions() {
 		t.Fatalf("instrumentation changed timing: cycles %d vs %d, instrs %d vs %d",

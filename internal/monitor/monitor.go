@@ -44,6 +44,7 @@ func Measure(v osmodel.Variant, spec osmodel.WorkloadSpec, refs int, cfg machine
 	sys := osmodel.NewSystem(v, spec)
 	sys.SetMetrics(cfg.Metrics)
 	gen := sys.Run(refs, m)
+	m.FlushMetrics()
 	row := Row{Workload: spec.Name, OS: v.String(), Breakdown: m.Breakdown(), Gen: gen}
 	if cfg.Metrics != nil {
 		row.Detail = cfg.Metrics.Snapshot()
@@ -68,6 +69,7 @@ func MeasureUserOnly(spec osmodel.WorkloadSpec, refs int, cfg machine.Config) Ro
 		Next: m,
 	}
 	gen := sys.Run(refs, filter)
+	m.FlushMetrics()
 	row := Row{Workload: spec.Name, OS: "None", Breakdown: m.Breakdown(), Gen: gen}
 	if cfg.Metrics != nil {
 		row.Detail = cfg.Metrics.Snapshot()

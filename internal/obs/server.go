@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"onchip/internal/search"
+	"onchip/internal/telemetry"
+)
+
+// Config assembles a Server around a run's telemetry.
+type Config struct {
+	// Registry is the run's metric registry; /metrics, /snapshot and
+	// the /series sampler read it. Required.
+	Registry *telemetry.Registry
+	// Tracer, when non-nil, is the stall-event ring tailed by /events.
+	Tracer *telemetry.Tracer
+	// Manifest, when non-nil, identifies the run in /snapshot output.
+	Manifest *telemetry.Manifest
+	// KindName and CompName translate event codes for the /events
+	// stream (the machine package supplies machine.KindName and
+	// machine.CompName); nil funcs emit raw numbers.
+	KindName, CompName func(uint8) string
+	// SampleEvery is the series sampling period; 0 selects 250 ms.
+	SampleEvery time.Duration
+	// SeriesDepth is the per-metric sample window; 0 selects
+	// DefaultSeriesDepth.
+	SeriesDepth int
+}
+
+// Server is the embeddable observability endpoint. Create one with New,
+// mount Handler on any mux or call Start to listen-and-serve, feed
+// sweep progress through ObserveSweep, and Close when the run ends.
+type Server struct {
+	cfg   Config
+	store *Store
+
+	mu      sync.Mutex
+	sweep   search.Progress
+	sweepOK bool
+	sweepAt time.Time
+
+	closeOnce sync.Once
+	done      chan struct{}
+	httpSrv   *http.Server
+}
+
+// New returns a server over the given telemetry. It does not listen
+// until Start is called; Handler can instead be mounted on an existing
+// mux (the tests do, via httptest).
+func New(cfg Config) *Server {
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 250 * time.Millisecond
+	}
+	return &Server{
+		cfg:   cfg,
+		store: NewStore(cfg.SeriesDepth),
+		done:  make(chan struct{}),
+	}
+}
+
+// Store exposes the time-series store (for tests and direct sampling).
+func (s *Server) Store() *Store { return s.store }
+
+// ObserveSweep records the latest design-space enumeration progress for
+// /sweep. It matches the experiments.Options.SweepObserver signature.
+func (s *Server) ObserveSweep(p search.Progress) {
+	s.mu.Lock()
+	s.sweep, s.sweepOK, s.sweepAt = p, true, time.Now()
+	s.mu.Unlock()
+}
+
+// Sample takes one immediate series sample from the registry, outside
+// the ticker cadence (Start samples once up front so /series answers
+// before the first tick).
+func (s *Server) Sample(now time.Time) {
+	s.store.Observe(now, s.cfg.Registry.Snapshot())
+}
+
+// Start listens on addr (":6060", "localhost:0", ...), serves the
+// observability endpoints, and starts the series sampler. It returns
+// the bound address, which differs from addr when a kernel-assigned
+// port was requested.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	go s.httpSrv.Serve(ln)
+	s.Sample(time.Now())
+	go s.sampleLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the sampler and the HTTP server, severing any open event
+// streams. Safe to call more than once.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.done)
+		if s.httpSrv != nil {
+			err = s.httpSrv.Close()
+		}
+	})
+	return err
+}
+
+func (s *Server) sampleLoop() {
+	tick := time.NewTicker(s.cfg.SampleEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case now := <-tick.C:
+			s.Sample(now)
+		}
+	}
+}
+
+// Handler returns the observability mux:
+//
+//	GET /          endpoint index
+//	GET /metrics   Prometheus text exposition of the registry
+//	GET /snapshot  manifest + full metric snapshot as JSON
+//	GET /events    server-sent-events tail of the stall-event ring
+//	GET /sweep     latest design-space enumeration progress
+//	GET /series    sampled time series (?metric=NAME; bare lists names)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/sweep", s.handleSweep)
+	mux.HandleFunc("/series", s.handleSeries)
+	return mux
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `onchip observability plane
+  /metrics   Prometheus text exposition
+  /snapshot  run manifest + metric snapshot (JSON)
+  /events    stall-event ring tail (SSE; ?since=SEQ, ?n=MAX)
+  /sweep     design-space enumeration progress (JSON)
+  /series    sampled time series (?metric=NAME; bare lists names)
+`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	telemetry.WritePrometheus(w, s.cfg.Registry.Snapshot())
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, struct {
+		Manifest *telemetry.Manifest `json:"manifest,omitempty"`
+		Metrics  []telemetry.Metric  `json:"metrics"`
+	}{s.cfg.Manifest, s.cfg.Registry.Snapshot()})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	p, ok, at := s.sweep, s.sweepOK, s.sweepAt
+	s.mu.Unlock()
+	var body struct {
+		Sweep         *search.Progress `json:"sweep"`
+		UpdatedUnixMs int64            `json:"updated_unix_ms,omitempty"`
+	}
+	if ok {
+		body.Sweep, body.UpdatedUnixMs = &p, at.UnixMilli()
+	}
+	writeJSON(w, body)
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("metric")
+	if name == "" {
+		writeJSON(w, struct {
+			Metrics []string `json:"metrics"`
+		}{s.store.Names()})
+		return
+	}
+	points, ok := s.store.Series(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no samples for metric %q", name), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, struct {
+		Metric string  `json:"metric"`
+		Points []Point `json:"points"`
+	}{name, points})
+}
+
+// handleEvents streams the stall-event ring as server-sent events: each
+// event is one `data:` line of the same JSON WriteJSONL emits, with the
+// event sequence number as the SSE id. ?since=SEQ starts the tail at a
+// sequence number (default 0 replays the captured window first);
+// ?n=MAX closes the stream after MAX events, for curl-friendly peeks.
+// A slow consumer skips evicted events rather than stalling the
+// simulator.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	if s.cfg.Tracer == nil {
+		http.Error(w, "no event ring attached to this run", http.StatusNotFound)
+		return
+	}
+	var since uint64
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	max := -1
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		max = n
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	poll := time.NewTicker(s.cfg.SampleEvery)
+	defer poll.Stop()
+	var line []byte
+	sent := 0
+	for {
+		evs, next := s.cfg.Tracer.EventsSince(since)
+		since = next
+		for _, ev := range evs {
+			line = append(line[:0], "id: "...)
+			line = strconv.AppendUint(line, ev.Seq, 10)
+			line = append(line, "\ndata: "...)
+			line = ev.AppendJSON(line, s.cfg.KindName, s.cfg.CompName)
+			line = append(line, '\n', '\n')
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+			sent++
+			if max >= 0 && sent >= max {
+				flusher.Flush()
+				return
+			}
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			return
+		case <-poll.C:
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,127 @@
+// Package obs is the reproduction's live observability plane: an
+// embeddable HTTP server that exposes the telemetry layer of a running
+// simulation (Prometheus metrics, JSON snapshots, a server-sent-events
+// tail of the Monster-style stall-event ring, and design-space sweep
+// progress), an in-run time-series store that samples registry
+// snapshots into bounded per-metric windows, and a run-history
+// comparator that diffs persisted end-of-run snapshots so CI can gate
+// on simulator regressions.
+//
+// Where PR 1's telemetry was one-shot and in-process — capture during
+// the run, dump at exit — this package is the serving side: the paper's
+// Monster monitor watched the DECstation's pins live through a logic
+// analyzer, and `-serve` gives every long-running binary the same
+// property over HTTP.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"onchip/internal/telemetry"
+)
+
+// Point is one time-series sample.
+type Point struct {
+	UnixMs int64   `json:"t"` // sample time, milliseconds since the epoch
+	Value  float64 `json:"v"`
+}
+
+// ring is a fixed-capacity append-only window of samples: once full,
+// each append overwrites the oldest point, so memory stays bounded no
+// matter how long the run (the zenodb retention-window idea scaled down
+// to a single process).
+type ring struct {
+	buf   []Point
+	start int // index of the oldest point once the ring has wrapped
+	n     int // points currently held
+}
+
+func (r *ring) push(p Point) {
+	if r.n < cap(r.buf) {
+		r.buf = append(r.buf, p)
+		r.n++
+		return
+	}
+	r.buf[r.start] = p
+	r.start = (r.start + 1) % cap(r.buf)
+}
+
+func (r *ring) points() []Point {
+	out := make([]Point, 0, r.n)
+	out = append(out, r.buf[r.start:]...)
+	return append(out, r.buf[:r.start]...)
+}
+
+// DefaultSeriesDepth is the per-metric window when none is configured:
+// at the default 250 ms sampling period it holds about four minutes of
+// history, and costs 16 KB per metric.
+const DefaultSeriesDepth = 1024
+
+// Store holds one bounded sample window per metric, fed by periodic
+// registry snapshots. Safe for concurrent samplers and readers.
+type Store struct {
+	mu    sync.Mutex
+	depth int
+	rings map[string]*ring
+}
+
+// NewStore returns a store keeping the last depth samples per metric;
+// depth <= 0 selects DefaultSeriesDepth.
+func NewStore(depth int) *Store {
+	if depth <= 0 {
+		depth = DefaultSeriesDepth
+	}
+	return &Store{depth: depth, rings: make(map[string]*ring)}
+}
+
+// Observe appends one sample per metric at the given instant. Counter
+// and gauge samples record the value; histogram samples record the mean
+// (the per-bucket detail stays with /metrics and /snapshot).
+func (s *Store) Observe(now time.Time, metrics []telemetry.Metric) {
+	if s == nil {
+		return
+	}
+	ms := now.UnixMilli()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range metrics {
+		r, ok := s.rings[m.Name]
+		if !ok {
+			r = &ring{buf: make([]Point, 0, s.depth)}
+			s.rings[m.Name] = r
+		}
+		r.push(Point{UnixMs: ms, Value: m.Value})
+	}
+}
+
+// Series returns the sampled window for one metric, oldest first, and
+// whether the metric has been seen at all.
+func (s *Store) Series(name string) ([]Point, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.rings[name]
+	if !ok {
+		return nil, false
+	}
+	return r.points(), true
+}
+
+// Names returns the metrics with at least one sample, sorted.
+func (s *Store) Names() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.rings))
+	for name := range s.rings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"onchip/internal/telemetry"
+)
+
+func metricsAt(v float64) []telemetry.Metric {
+	return []telemetry.Metric{
+		{Name: "b.counter", Type: "counter", Value: v},
+		{Name: "a.gauge", Type: "gauge", Value: -v},
+	}
+}
+
+func TestStoreSeries(t *testing.T) {
+	s := NewStore(0)
+	if _, ok := s.Series("b.counter"); ok {
+		t.Fatal("empty store must report unknown metrics")
+	}
+	t0 := time.UnixMilli(1000)
+	for i := 0; i < 3; i++ {
+		s.Observe(t0.Add(time.Duration(i)*time.Second), metricsAt(float64(i)))
+	}
+	pts, ok := s.Series("b.counter")
+	if !ok || len(pts) != 3 {
+		t.Fatalf("series = %v (ok=%v), want 3 points", pts, ok)
+	}
+	if pts[0] != (Point{UnixMs: 1000, Value: 0}) || pts[2] != (Point{UnixMs: 3000, Value: 2}) {
+		t.Errorf("points = %+v", pts)
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a.gauge" || names[1] != "b.counter" {
+		t.Errorf("Names = %v, want sorted [a.gauge b.counter]", names)
+	}
+}
+
+// TestStoreWindowEviction fills a small window past capacity and checks
+// the ring keeps only the newest samples, oldest first.
+func TestStoreWindowEviction(t *testing.T) {
+	s := NewStore(4)
+	t0 := time.UnixMilli(0)
+	for i := 0; i < 10; i++ {
+		s.Observe(t0.Add(time.Duration(i)*time.Millisecond), metricsAt(float64(i)))
+	}
+	pts, _ := s.Series("b.counter")
+	if len(pts) != 4 {
+		t.Fatalf("len = %d, want 4", len(pts))
+	}
+	for i, p := range pts {
+		if want := float64(6 + i); p.Value != want {
+			t.Errorf("point %d = %+v, want value %g", i, p, want)
+		}
+	}
+}
+
+func TestStoreNilSafe(t *testing.T) {
+	var s *Store
+	s.Observe(time.Now(), metricsAt(1))
+	if _, ok := s.Series("x"); ok {
+		t.Error("nil store must have no series")
+	}
+	if s.Names() != nil {
+		t.Error("nil store must have no names")
+	}
+}

@@ -118,6 +118,14 @@ type Progress struct {
 	Done bool
 }
 
+// MarshalJSON emits the snapshot with durations in seconds, the shape
+// served by the observability plane's /sweep endpoint.
+func (p Progress) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf(
+		`{"priced":%d,"total":%d,"kept":%d,"elapsed_seconds":%.3f,"eta_seconds":%.3f,"done":%v}`,
+		p.Priced, p.Total, p.Kept, p.Elapsed.Seconds(), p.ETA.Seconds(), p.Done)), nil
+}
+
 func (p Progress) String() string {
 	if p.Done {
 		return fmt.Sprintf("priced %d/%d configs, %d within budget, %.2fs",

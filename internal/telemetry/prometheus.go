@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PromName sanitizes a registry metric name into the Prometheus
+// exposition charset [a-zA-Z_:][a-zA-Z0-9_:]*: the dotted names used
+// throughout this repo ("machine.stall_cycles.tlb") become underscore
+// form ("machine_stall_cycles_tlb"), and any other illegal rune is
+// likewise replaced with '_'.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		legal := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if legal {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders a metric snapshot (from Registry.Snapshot) in
+// the Prometheus text exposition format, suitable for serving at
+// GET /metrics. Counters and gauges emit one sample each (gauges add a
+// <name>_max companion series for the running maximum); histograms emit
+// cumulative <name>_bucket{le="..."} samples over the log2 bucket upper
+// edges plus <name>_sum and <name>_count, mirroring the native
+// histogram convention.
+func WritePrometheus(w io.Writer, metrics []Metric) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range metrics {
+		name := PromName(m.Name)
+		if m.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, m.Help)
+		}
+		switch m.Type {
+		case "histogram":
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+			var cum uint64
+			for _, b := range m.Buckets {
+				cum += b.Count
+				fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", name, b.Hi, cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, m.Count)
+			fmt.Fprintf(bw, "%s_sum %d\n", name, m.Sum)
+			fmt.Fprintf(bw, "%s_count %d\n", name, m.Count)
+		case "gauge":
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(bw, "%s %v\n", name, m.Value)
+			fmt.Fprintf(bw, "# TYPE %s_max gauge\n", name)
+			fmt.Fprintf(bw, "%s_max %v\n", name, m.Max)
+		default: // "counter"
+			fmt.Fprintf(bw, "# TYPE %s counter\n", name)
+			fmt.Fprintf(bw, "%s %v\n", name, m.Value)
+		}
+	}
+	return bw.Flush()
+}

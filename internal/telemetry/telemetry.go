@@ -11,10 +11,13 @@
 // unconditionally and the disabled path reduces to an inlined nil check.
 //
 // Instruments use atomic updates, so a single instrument may be shared
-// across goroutines (the design-space sweep runs workloads
-// concurrently). Histograms are the exception: their multi-word state is
-// updated non-atomically and each must be owned by one goroutine at a
-// time, which holds for the per-machine histograms used here.
+// across goroutines (the design-space sweep runs workloads concurrently,
+// and the live observability server snapshots the registry while
+// simulators are still observing). Histogram snapshots taken mid-run are
+// per-word consistent rather than globally consistent: each bucket,
+// count and sum is read atomically, but a concurrent Observe may land
+// between reads. The discrepancy is at most the few in-flight
+// observations and vanishes at end of run.
 package telemetry
 
 import (
@@ -103,8 +106,8 @@ const nHistBuckets = 65
 
 // Histogram accumulates a distribution in log2 buckets: cheap enough for
 // per-miss observation, coarse enough to need no configuration. The nil
-// *Histogram is a valid no-op instrument. Not safe for concurrent
-// observers.
+// *Histogram is a valid no-op instrument. Updates are atomic, so a
+// histogram may be observed by one goroutine while another snapshots it.
 type Histogram struct {
 	count   uint64
 	sum     uint64
@@ -118,9 +121,9 @@ func (h *Histogram) Observe(v uint64) {
 	if h == nil {
 		return
 	}
-	h.count++
-	h.sum += v
-	h.buckets[bits.Len64(v)]++
+	atomic.AddUint64(&h.count, 1)
+	atomic.AddUint64(&h.sum, v)
+	atomic.AddUint64(&h.buckets[bits.Len64(v)], 1)
 }
 
 // Count returns the number of observations.
@@ -128,7 +131,7 @@ func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
 	}
-	return h.count
+	return atomic.LoadUint64(&h.count)
 }
 
 // Sum returns the sum of all observed values.
@@ -136,26 +139,29 @@ func (h *Histogram) Sum() uint64 {
 	if h == nil {
 		return 0
 	}
-	return h.sum
+	return atomic.LoadUint64(&h.sum)
 }
 
 // Mean returns the mean observed value.
 func (h *Histogram) Mean() float64 {
-	if h == nil || h.count == 0 {
+	count := h.Count()
+	if count == 0 {
 		return 0
 	}
-	return float64(h.sum) / float64(h.count)
+	return float64(h.Sum()) / float64(count)
 }
 
 // Quantile returns an upper bound on the q-quantile (0 <= q <= 1): the
 // inclusive upper edge of the log2 bucket holding that rank.
 func (h *Histogram) Quantile(q float64) uint64 {
-	if h == nil || h.count == 0 {
+	count := h.Count()
+	if count == 0 {
 		return 0
 	}
-	rank := uint64(q * float64(h.count-1))
+	rank := uint64(q * float64(count-1))
 	var seen uint64
-	for i, n := range h.buckets {
+	for i := range h.buckets {
+		n := atomic.LoadUint64(&h.buckets[i])
 		seen += n
 		if n > 0 && seen > rank {
 			if i == 0 {
@@ -181,7 +187,8 @@ func (h *Histogram) Buckets() []Bucket {
 		return nil
 	}
 	var out []Bucket
-	for i, n := range h.buckets {
+	for i := range h.buckets {
+		n := atomic.LoadUint64(&h.buckets[i])
 		if n == 0 {
 			continue
 		}
@@ -361,7 +368,7 @@ func (r *Registry) Snapshot() []Metric {
 	for name, h := range r.hists {
 		out = append(out, Metric{
 			Name: name, Type: "histogram", Help: h.help,
-			Value: h.Mean(), Count: h.count, Sum: h.sum, Buckets: h.Buckets(),
+			Value: h.Mean(), Count: h.Count(), Sum: h.Sum(), Buckets: h.Buckets(),
 		})
 	}
 	for name, fm := range r.funcs {

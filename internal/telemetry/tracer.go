@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strconv"
+	"sync"
 )
 
 // Event is one machine-level occurrence: a reference that was charged
@@ -17,6 +19,24 @@ type Event struct {
 	ASID   uint8  // address space
 	Comp   uint8  // component charged
 	Cycles uint32 // stall cycles charged
+}
+
+// AppendJSON appends the event as a single JSON object (no trailing
+// newline) to dst and returns the extended slice. kindName and compName
+// translate the producer's numeric codes; nil funcs emit the raw
+// numbers. Hand-rolled for speed and stable field order; values are
+// numbers and name-function strings (no escaping needed for the
+// producers in this repo).
+func (ev Event) AppendJSON(dst []byte, kindName, compName func(uint8) string) []byte {
+	kind, comp := strconv.Itoa(int(ev.Kind)), strconv.Itoa(int(ev.Comp))
+	if kindName != nil {
+		kind = kindName(ev.Kind)
+	}
+	if compName != nil {
+		comp = compName(ev.Comp)
+	}
+	return fmt.Appendf(dst, `{"type":"event","seq":%d,"kind":%q,"addr":"0x%08x","asid":%d,"comp":%q,"cycles":%d}`,
+		ev.Seq, kind, ev.Addr, ev.ASID, comp, ev.Cycles)
 }
 
 // Probe receives fine-grained events from instrumented code. *Tracer
@@ -36,8 +56,10 @@ func (Nop) Event(Event) {}
 // mirroring the paper's Monster setup, whose logic analyzer captured a
 // 128K-entry window of machine transactions at the CPU pins for
 // post-mortem inspection. The nil *Tracer is a valid no-op instrument.
-// Not safe for concurrent recorders.
+// Safe for one recorder plus any number of concurrent readers (the live
+// observability server tails the ring while the machine fills it).
 type Tracer struct {
+	mu  sync.Mutex
 	buf []Event
 	n   uint64 // events ever recorded
 }
@@ -59,6 +81,7 @@ func (t *Tracer) Record(ev Event) {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
 	ev.Seq = t.n
 	if len(t.buf) < cap(t.buf) {
 		t.buf = append(t.buf, ev)
@@ -66,6 +89,7 @@ func (t *Tracer) Record(ev Event) {
 		t.buf[t.n%uint64(cap(t.buf))] = ev
 	}
 	t.n++
+	t.mu.Unlock()
 }
 
 // Event implements Probe.
@@ -77,6 +101,8 @@ func (t *Tracer) Total() uint64 {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.n
 }
 
@@ -85,12 +111,23 @@ func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return len(t.buf)
 }
 
 // Events returns the captured window, oldest first.
 func (t *Tracer) Events() []Event {
-	if t == nil || len(t.buf) == 0 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.eventsLocked()
+}
+
+func (t *Tracer) eventsLocked() []Event {
+	if len(t.buf) == 0 {
 		return nil
 	}
 	out := make([]Event, 0, len(t.buf))
@@ -102,24 +139,40 @@ func (t *Tracer) Events() []Event {
 	return append(out, t.buf[:head]...)
 }
 
+// EventsSince returns the events with Seq >= since that are still in
+// the window, oldest first, plus the sequence number to pass on the
+// next call. Events that were evicted before the call are silently
+// skipped (the tail resumes at the oldest survivor), so a slow reader
+// loses data but never stalls the recorder.
+func (t *Tracer) EventsSince(since uint64) ([]Event, uint64) {
+	if t == nil {
+		return nil, since
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n <= since {
+		return nil, t.n
+	}
+	evs := t.eventsLocked()
+	// evs is sorted by Seq; skip the prefix below since.
+	lo := 0
+	for lo < len(evs) && evs[lo].Seq < since {
+		lo++
+	}
+	return evs[lo:], t.n
+}
+
 // WriteJSONL dumps the captured window as JSONL, one event per line,
 // oldest first. kindName and compName translate the producer's numeric
-// codes; nil funcs emit the raw numbers.
+// codes; nil funcs emit the raw numbers. Safe to call while a recorder
+// is still appending: the dump is of a consistent point-in-time copy of
+// the window.
 func (t *Tracer) WriteJSONL(w io.Writer, kindName, compName func(uint8) string) error {
 	bw := bufio.NewWriter(w)
+	var line []byte
 	for _, ev := range t.Events() {
-		kind, comp := fmt.Sprintf("%d", ev.Kind), fmt.Sprintf("%d", ev.Comp)
-		if kindName != nil {
-			kind = kindName(ev.Kind)
-		}
-		if compName != nil {
-			comp = compName(ev.Comp)
-		}
-		// Hand-rolled for speed and stable field order; values are
-		// numbers and name-function strings (no escaping needed for the
-		// producers in this repo).
-		if _, err := fmt.Fprintf(bw, `{"type":"event","seq":%d,"kind":%q,"addr":"0x%08x","asid":%d,"comp":%q,"cycles":%d}`+"\n",
-			ev.Seq, kind, ev.Addr, ev.ASID, comp, ev.Cycles); err != nil {
+		line = append(ev.AppendJSON(line[:0], kindName, compName), '\n')
+		if _, err := bw.Write(line); err != nil {
 			return err
 		}
 	}
