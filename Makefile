@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench race check clean
+.PHONY: all build test vet bench race fuzz check clean
 
 all: build
 
@@ -22,6 +22,9 @@ race:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzTrace -fuzztime=20s -run=FuzzTrace ./internal/trace/
 
 check: vet build race bench
 

@@ -11,17 +11,29 @@
 //
 // Associativity 0 means fully associative. -unified merges the two
 // caches into one (sized by the -i flags).
+//
+// Robustness: -skip-corrupt steps over malformed trace records
+// (counted and reported) instead of aborting; -retries N retries
+// transient read errors with exponential backoff; the -fault-* flags
+// deterministically inject read faults to exercise those paths; and
+// SIGINT/SIGTERM stops the replay at the next record boundary, with
+// statistics and metrics covering the replayed prefix (exit 130).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
 
 	"onchip/internal/area"
 	"onchip/internal/cache"
+	"onchip/internal/faultinject"
+	"onchip/internal/lifecycle"
 	"onchip/internal/machine"
 	"onchip/internal/obs"
 	"onchip/internal/telemetry"
@@ -45,6 +57,12 @@ func main() {
 	wbEntries := flag.Int("wb", 4, "write buffer entries")
 	metricsFile := flag.String("metrics", "", "write run manifest and metrics as JSONL to this file")
 	serveAddr := flag.String("serve", "", "serve live observability endpoints on this address (e.g. :6060)")
+	skipCorrupt := flag.Bool("skip-corrupt", false, "skip corrupt trace records (counted and reported) instead of aborting")
+	retries := flag.Int("retries", 0, "retry transient read errors up to N times with exponential backoff")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injection PRNG seed (deterministic schedule)")
+	faultIOProb := flag.Float64("fault-io-prob", 0, "probability a read fails with a transient I/O error")
+	faultCorruptProb := flag.Float64("fault-corrupt-prob", 0, "probability a read corrupts one byte of the stream")
+	faultTruncProb := flag.Float64("fault-trunc-prob", 0, "probability a read truncates the stream")
 	flag.Parse()
 
 	if *in == "" {
@@ -58,16 +76,9 @@ func main() {
 		WB:      wbuf.Config{Entries: *wbEntries, WriteCycles: 5},
 		Unified: *unified,
 	}
-	for _, c := range []area.CacheConfig{cfg.ICache.CacheConfig, cfg.DCache.CacheConfig} {
-		if err := c.Validate(); err != nil {
-			fmt.Fprintln(os.Stderr, "dinero:", err)
-			os.Exit(2)
-		}
-	}
-	if err := cfg.TLB.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "dinero:", err)
-		os.Exit(2)
-	}
+
+	ctx, stopSignals := lifecycle.Notify(context.Background(), "dinero", nil)
+	defer stopSignals()
 
 	f, err := os.Open(*in)
 	if err != nil {
@@ -75,15 +86,35 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
-	r, err := trace.NewReader(f)
+
+	// The read path composes: file -> fault injector (when enabled) ->
+	// transient-error retrier (when -retries > 0) -> trace decoder.
+	inj := faultinject.New(faultinject.Config{
+		Seed:         *faultSeed,
+		IOErrProb:    *faultIOProb,
+		CorruptProb:  *faultCorruptProb,
+		TruncateProb: *faultTruncProb,
+	})
+	var stream io.Reader = f
+	stream = inj.Reader(stream)
+	if *retries > 0 {
+		p := faultinject.DefaultRetryPolicy()
+		p.Attempts = *retries + 1
+		stream = faultinject.RetryReader(stream, p)
+	}
+	r, err := trace.NewReader(stream)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dinero:", err)
 		os.Exit(1)
 	}
+	r.SkipCorrupt = *skipCorrupt
 
 	start := time.Now()
 	if *metricsFile != "" || *serveAddr != "" {
 		cfg.Metrics = telemetry.NewRegistry()
+		inj.Describe(cfg.Metrics, "faults")
+		corrupts := cfg.Metrics.Counter("trace.corrupt_records", "corrupt trace records encountered")
+		r.OnCorrupt = func(*trace.CorruptError) { corrupts.Inc() }
 	}
 	man := &telemetry.Manifest{
 		Command:   "dinero",
@@ -109,13 +140,31 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "dinero: observability plane on http://%s/\n", bound)
 	}
-	m := machine.New(cfg)
-	n, err := r.Drain(m)
+	m, err := machine.NewE(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dinero:", err)
+		os.Exit(2)
+	}
+	n, err := r.DrainContext(ctx, m)
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
+		var ce *trace.CorruptError
+		if errors.As(err, &ce) {
+			fmt.Fprintf(os.Stderr, "dinero: %v (rerun with -skip-corrupt to skip bad records)\n", ce)
+		} else {
+			fmt.Fprintln(os.Stderr, "dinero:", err)
+		}
 		os.Exit(1)
 	}
+	// Flush and report even when interrupted: the counters below are
+	// exact for the prefix of the trace that was replayed.
 	m.FlushMetrics()
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "dinero: interrupted; statistics cover the first %d references\n", n)
+	}
+	if c := r.Corrupt(); c > 0 {
+		fmt.Fprintf(os.Stderr, "dinero: skipped %d corrupt record(s)\n", c)
+	}
 
 	fmt.Printf("trace: %s (%d references, %d instructions)\n\n", *in, n, m.Instructions())
 	printCache := "I-cache"
@@ -152,5 +201,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dinero:", err)
 			os.Exit(1)
 		}
+	}
+	if interrupted {
+		os.Exit(lifecycle.InterruptExit)
 	}
 }

@@ -1,15 +1,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"runtime"
 	"time"
 
 	"onchip/internal/experiments"
+	"onchip/internal/lifecycle"
 	"onchip/internal/obs"
+	"onchip/internal/search"
 	"onchip/internal/telemetry"
 )
 
@@ -36,13 +41,21 @@ regression checks with "memalloc compare".`)
 		return code
 	}
 
+	ctx, stopSignals := lifecycle.Notify(context.Background(), "memalloc history", nil)
+	defer stopSignals()
+
 	start := time.Now()
 	reg := telemetry.NewRegistry()
-	opt := experiments.Options{Refs: *refs, Metrics: reg}
+	opt := experiments.Options{Refs: *refs, Metrics: reg, Context: ctx}
 	for _, id := range ids {
 		t0 := time.Now()
 		res, err := experiments.Run(id, opt)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				// A partial snapshot would gate CI on half a run; drop it.
+				fmt.Fprintf(os.Stderr, "memalloc: history interrupted during %s; no snapshot written\n", id)
+				return lifecycle.InterruptExit
+			}
 			fmt.Fprintln(os.Stderr, "memalloc:", err)
 			return 1
 		}
@@ -83,7 +96,8 @@ func runCompare(args []string) int {
 Diffs two run snapshots written by "memalloc history" (or -metrics
 converted runs). Exits 0 when every counter, histogram and the derived
 CPI agree within the threshold, 1 when any metric regressed or is
-missing from one run, 2 on usage or read errors.`)
+missing from one run, 2 on usage or read errors (so CI can tell a
+regression from a missing or unreadable run file).`)
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -91,12 +105,12 @@ missing from one run, 2 on usage or read errors.`)
 		fs.Usage()
 		return 2
 	}
-	a, err := obs.ReadRunFile(fs.Arg(0))
+	a, err := readRunFile(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "memalloc:", err)
 		return 2
 	}
-	b, err := obs.ReadRunFile(fs.Arg(1))
+	b, err := readRunFile(fs.Arg(1))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "memalloc:", err)
 		return 2
@@ -110,6 +124,47 @@ missing from one run, 2 on usage or read errors.`)
 	fmt.Print(obs.FormatDeltas(deltas))
 	fmt.Printf("\n%d metric(s) beyond the %.3g%% threshold\n", len(deltas), 100**threshold)
 	return 1
+}
+
+// readRunFile loads a snapshot, turning a bare open error on a missing
+// file into a message that names the path and lists the run files that
+// DO exist next to it -- the usual failure is a typoed BENCH_<runid>
+// name, so show the alternatives instead of an errno.
+func readRunFile(path string) (obs.Run, error) {
+	run, err := obs.ReadRunFile(path)
+	if err == nil || !errors.Is(err, fs.ErrNotExist) {
+		return run, err
+	}
+	dir := filepath.Dir(path)
+	candidates, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	msg := fmt.Sprintf("run file not found: %s", path)
+	if len(candidates) > 0 {
+		msg += fmt.Sprintf(" (run files in %s: %v)", dir, candidates)
+	} else {
+		msg += fmt.Sprintf(" (no BENCH_*.json run files in %s; create one with \"memalloc history\")", dir)
+	}
+	return run, errors.New(msg)
+}
+
+// runCheckpointInfo implements `memalloc checkpoint <file>`: validate a
+// sweep checkpoint (header, version, checksum) and summarize how much of
+// the enumeration it covers.
+func runCheckpointInfo(args []string) int {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: memalloc checkpoint <file>")
+		return 2
+	}
+	cp, err := search.LoadCheckpoint(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memalloc:", err)
+		return 2
+	}
+	fmt.Printf("%s: valid checkpoint (version %d)\n", args[0], cp.Version)
+	fmt.Printf("  sweep:      %s\n", cp.Label)
+	fmt.Printf("  space sig:  %s\n", cp.SpaceSig)
+	fmt.Printf("  progress:   %d outer pairs done, %d combinations priced\n", cp.PairsDone, cp.Priced)
+	fmt.Printf("  kept:       %d allocations within budget\n", len(cp.Kept))
+	return 0
 }
 
 // resolveExperiments expands and validates experiment arguments shared

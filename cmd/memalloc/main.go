@@ -31,6 +31,21 @@
 //	                event ring), /sweep (enumeration progress) and
 //	                /series (sampled metric time series)
 //
+// Fault tolerance (see DESIGN.md "Fault tolerance"):
+//
+//	-checkpoint FILE  persist design-space sweep state to FILE
+//	                  periodically (atomic rename, checksummed)
+//	-resume FILE      resume an interrupted sweep from FILE; the final
+//	                  ranking is identical to an uninterrupted run
+//	-fault-seed N, -fault-panic-prob P, -fault-retries N
+//	                  deterministically inject sweep-worker panics and
+//	                  control how often a failed workload sweep is
+//	                  retried before being excluded from the model
+//
+// SIGINT/SIGTERM cancels the run gracefully: the sweep checkpoints,
+// telemetry flushes, partial results are written, and the process exits
+// with status 130. A second signal aborts immediately.
+//
 // Run history (see EXPERIMENTS.md "Live monitoring"):
 //
 //	memalloc history [-refs N] [-o FILE] <experiment>...
@@ -41,6 +56,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -50,6 +67,8 @@ import (
 	"time"
 
 	"onchip/internal/experiments"
+	"onchip/internal/faultinject"
+	"onchip/internal/lifecycle"
 	"onchip/internal/machine"
 	"onchip/internal/obs"
 	"onchip/internal/telemetry"
@@ -66,6 +85,11 @@ func run() int {
 	progress := flag.Bool("progress", false, "stream live progress lines to stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	serveAddr := flag.String("serve", "", "serve live observability endpoints on this address (e.g. :6060)")
+	checkpoint := flag.String("checkpoint", "", "persist design-space sweep state to this file (atomic, checksummed)")
+	resume := flag.String("resume", "", "resume a design-space sweep from this checkpoint file (implies -checkpoint to the same file)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injection PRNG seed (deterministic schedule)")
+	faultPanicProb := flag.Float64("fault-panic-prob", 0, "probability a sweep worker panics, per workload attempt (testing the recovery path)")
+	faultRetries := flag.Int("fault-retries", 2, "times a failed workload sweep is retried before being excluded from the model")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -88,11 +112,24 @@ func run() int {
 		return runHistory(args[1:], *refs)
 	case "compare":
 		return runCompare(args[1:])
+	case "checkpoint":
+		return runCheckpointInfo(args[1:])
 	}
 	ids, code := resolveExperiments(args)
 	if code >= 0 {
 		return code
 	}
+	if *resume != "" && len(ids) > 1 {
+		fmt.Fprintln(os.Stderr, "memalloc: -resume applies to a single experiment (a checkpoint is bound to one sweep)")
+		return 2
+	}
+
+	// Shutdown contract: the first SIGINT/SIGTERM cancels ctx -- the
+	// sweep persists a checkpoint (when -checkpoint/-resume is set),
+	// telemetry is flushed, and the -metrics/-trace files are still
+	// written below; a second signal aborts immediately.
+	ctx, stopSignals := lifecycle.Notify(context.Background(), "memalloc", nil)
+	defer stopSignals()
 
 	if *pprofAddr != "" {
 		go func() {
@@ -103,9 +140,19 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "memalloc: pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
-	opt := experiments.Options{Refs: *refs}
+	opt := experiments.Options{Refs: *refs, Context: ctx}
+	opt.CheckpointPath = *checkpoint
+	opt.ResumePath = *resume
+	if *resume != "" && opt.CheckpointPath == "" {
+		// Keep checkpointing where we resumed from, so a resumed run
+		// that is itself interrupted stays resumable.
+		opt.CheckpointPath = *resume
+	}
+	opt.FaultInjector = faultinject.New(faultinject.Config{Seed: *faultSeed, PanicProb: *faultPanicProb})
+	opt.FaultRetries = *faultRetries
 	if *metricsFile != "" || *serveAddr != "" {
 		opt.Metrics = telemetry.NewRegistry()
+		opt.FaultInjector.Describe(opt.Metrics, "faults")
 	}
 	if *traceFile != "" || *serveAddr != "" {
 		opt.Tracer = telemetry.NewTracer(telemetry.DefaultTracerDepth)
@@ -138,12 +185,23 @@ func run() int {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "memalloc: observability plane on http://%s/\n", bound)
 		opt.SweepObserver = srv.ObserveSweep
+		opt.CheckpointObserver = srv.ObserveCheckpoint
 	}
 	failed := false
+	interrupted := false
 	for _, id := range ids {
 		t0 := time.Now()
 		res, err := experiments.Run(id, opt)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				interrupted = true
+				fmt.Fprintf(os.Stderr, "memalloc: %s interrupted", id)
+				if opt.CheckpointPath != "" {
+					fmt.Fprintf(os.Stderr, "; resume with -resume %s", opt.CheckpointPath)
+				}
+				fmt.Fprintln(os.Stderr)
+				break
+			}
 			fmt.Fprintln(os.Stderr, "memalloc:", err)
 			failed = true
 			continue
@@ -155,6 +213,9 @@ func run() int {
 		fmt.Println()
 	}
 
+	// Partial results still land on disk after an interrupt: the metric
+	// snapshot reflects everything flushed before cancellation, and the
+	// trace file holds the captured event window.
 	if *metricsFile != "" {
 		if err := writeMetrics(*metricsFile, man, opt.Metrics.Snapshot()); err != nil {
 			fmt.Fprintln(os.Stderr, "memalloc:", err)
@@ -166,6 +227,9 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "memalloc:", err)
 			failed = true
 		}
+	}
+	if interrupted {
+		return lifecycle.InterruptExit
 	}
 	if failed {
 		return 1
@@ -207,6 +271,13 @@ Multiple-API Operating Systems" (ISCA 1994). Run "memalloc list" for the
 experiment catalog. "history" persists an end-of-run metric snapshot as
 BENCH_<runid>.json; "compare" diffs two snapshots and exits non-zero on
 regression.
+
+Fault tolerance: SIGINT/SIGTERM shuts down gracefully -- the design-
+space sweep persists a -checkpoint file, telemetry flushes, and partial
+results are written -- and "-resume FILE" continues an interrupted
+sweep, reproducing the uninterrupted ranking exactly (exit status 130
+marks an interrupted run). The -fault-* flags deterministically inject
+sweep-worker faults to exercise the recovery paths.
 `)
 	flag.PrintDefaults()
 }

@@ -11,12 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"time"
 
+	"onchip/internal/lifecycle"
 	"onchip/internal/machine"
 	"onchip/internal/monitor"
 	"onchip/internal/obs"
@@ -32,6 +34,9 @@ func main() {
 	metricsFile := flag.String("metrics", "", "write run manifest and metrics as JSONL to this file")
 	serveAddr := flag.String("serve", "", "serve live observability endpoints on this address (e.g. :6060)")
 	flag.Parse()
+
+	ctx, stopSignals := lifecycle.Notify(context.Background(), "monster", nil)
+	defer stopSignals()
 
 	start := time.Now()
 	cfg := machine.DECstation3100()
@@ -65,10 +70,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "monster: observability plane on http://%s/\n", bound)
 	}
 
+	// Cancellation is checked between measurements: each row that was
+	// fully measured before the interrupt is printed, then the metrics
+	// snapshot below still covers everything printed.
+	interrupted := false
 	if *suite {
 		for _, v := range []osmodel.Variant{osmodel.Ultrix, osmodel.Mach} {
-			for _, row := range monitor.MeasureSuite(v, workload.All(), *refs, cfg) {
+			rows, err := monitor.MeasureSuiteContext(ctx, v, workload.All(), *refs, cfg)
+			for _, row := range rows {
 				printRow(row)
+			}
+			if err != nil {
+				interrupted = true
+				break
 			}
 		}
 	} else {
@@ -77,9 +91,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "monster:", err)
 			os.Exit(1)
 		}
-		printRow(monitor.MeasureUserOnly(spec, *refs, cfg))
-		printRow(monitor.Measure(osmodel.Ultrix, spec, *refs, cfg))
-		printRow(monitor.Measure(osmodel.Mach, spec, *refs, cfg))
+		measure := []func() monitor.Row{
+			func() monitor.Row { return monitor.MeasureUserOnly(spec, *refs, cfg) },
+			func() monitor.Row { return monitor.Measure(osmodel.Ultrix, spec, *refs, cfg) },
+			func() monitor.Row { return monitor.Measure(osmodel.Mach, spec, *refs, cfg) },
+		}
+		for _, m := range measure {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
+			printRow(m())
+		}
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "monster: interrupted; rows above are complete measurements")
 	}
 
 	if *metricsFile != "" {
@@ -94,6 +120,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "monster:", err)
 			os.Exit(1)
 		}
+	}
+	if interrupted {
+		os.Exit(lifecycle.InterruptExit)
 	}
 }
 

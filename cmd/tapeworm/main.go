@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"onchip/internal/area"
+	"onchip/internal/lifecycle"
 	"onchip/internal/machine"
 	"onchip/internal/obs"
 	"onchip/internal/osmodel"
@@ -25,6 +27,28 @@ import (
 	"onchip/internal/trace"
 	"onchip/internal/workload"
 )
+
+// genChunk is how many references each System.Generate slice produces
+// between cancellation checks; generation resumes where the previous
+// slice stopped, so chunking does not change the reference stream.
+const genChunk = 1 << 20
+
+// generateCtx runs sys.Generate in genChunk slices, polling ctx between
+// slices. It reports whether the full n references were generated.
+func generateCtx(ctx context.Context, sys *osmodel.System, n int, sink trace.Sink) bool {
+	for done := 0; done < n; {
+		if ctx.Err() != nil {
+			return false
+		}
+		c := n - done
+		if c > genChunk {
+			c = genChunk
+		}
+		sys.Generate(c, sink)
+		done += c
+	}
+	return true
+}
 
 func main() {
 	wl := flag.String("workload", "video_play", "workload name")
@@ -101,13 +125,27 @@ func main() {
 		}
 		hw.Translate(r.Addr, r.ASID)
 	})
+	ctx, stopSignals := lifecycle.Notify(context.Background(), "tapeworm", nil)
+	defer stopSignals()
+
 	sys := osmodel.NewSystem(v, spec)
-	sys.Generate(*refs/3, sink) // warm-up
-	hw.ResetService()
-	tw.ResetServices()
-	instrs = 0
-	measuring = true
-	sys.Generate(*refs, sink)
+	interrupted := !generateCtx(ctx, sys, *refs/3, sink) // warm-up
+	if !interrupted {
+		hw.ResetService()
+		tw.ResetServices()
+		instrs = 0
+		measuring = true
+		interrupted = !generateCtx(ctx, sys, *refs, sink)
+	}
+	if instrs == 0 {
+		// Interrupted before the measured window opened: there is
+		// nothing meaningful to scale or print.
+		fmt.Fprintln(os.Stderr, "tapeworm: interrupted during warm-up; no measurements")
+		os.Exit(lifecycle.InterruptExit)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "tapeworm: interrupted; results below cover the %d instructions measured so far\n", instrs)
+	}
 
 	scale := float64(spec.FullRunInstrs) / float64(instrs)
 	fmt.Printf("%s under %v: %d instructions simulated, scaled x%.0f to the full run\n\n",
@@ -133,5 +171,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tapeworm:", err)
 			os.Exit(1)
 		}
+	}
+	if interrupted {
+		os.Exit(lifecycle.InterruptExit)
 	}
 }

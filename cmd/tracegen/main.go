@@ -9,12 +9,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"time"
 
+	"onchip/internal/lifecycle"
 	"onchip/internal/obs"
 	"onchip/internal/osmodel"
 	"onchip/internal/telemetry"
@@ -28,6 +31,7 @@ func main() {
 	refs := flag.Int("refs", 1_000_000, "references to generate")
 	out := flag.String("o", "", "output trace file (default stdout summary only)")
 	stat := flag.String("stat", "", "inspect an existing trace file instead of generating")
+	skipCorrupt := flag.Bool("skip-corrupt", false, "with -stat: skip corrupt records (counted) instead of aborting")
 	list := flag.Bool("list", false, "list workload names")
 	metricsFile := flag.String("metrics", "", "write run manifest and metrics as JSONL to this file")
 	serveAddr := flag.String("serve", "", "serve live observability endpoints on this address (e.g. :6060)")
@@ -40,12 +44,15 @@ func main() {
 		return
 	}
 	if *stat != "" {
-		if err := statFile(*stat); err != nil {
+		if err := statFile(*stat, *skipCorrupt); err != nil {
 			fmt.Fprintln(os.Stderr, "tracegen:", err)
 			os.Exit(1)
 		}
 		return
 	}
+
+	ctx, stopSignals := lifecycle.Notify(context.Background(), "tracegen", nil)
+	defer stopSignals()
 
 	start := time.Now()
 	var reg *telemetry.Registry
@@ -69,10 +76,15 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "tracegen: observability plane on http://%s/\n", bound)
 	}
-	if err := generate(*wl, *osName, *refs, *out, reg); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
+	genErr := generate(ctx, *wl, *osName, *refs, *out, reg)
+	interrupted := errors.Is(genErr, context.Canceled)
+	if genErr != nil && !interrupted {
+		fmt.Fprintln(os.Stderr, "tracegen:", genErr)
 		os.Exit(1)
 	}
+	// The metrics snapshot is still written after an interrupt: it
+	// covers exactly the records that made it into the (valid) partial
+	// trace file.
 	if *metricsFile != "" {
 		f, err := os.Create(*metricsFile)
 		if err == nil {
@@ -86,6 +98,9 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if interrupted {
+		os.Exit(lifecycle.InterruptExit)
+	}
 }
 
 func variant(name string) (osmodel.Variant, error) {
@@ -98,7 +113,12 @@ func variant(name string) (osmodel.Variant, error) {
 	return 0, fmt.Errorf("unknown OS %q (want Ultrix or Mach)", name)
 }
 
-func generate(wl, osName string, refs int, out string, reg *telemetry.Registry) error {
+// genChunk is how many references each System.Run slice generates
+// between cancellation checks; Run continues from where the previous
+// slice stopped, so chunking does not change the generated stream.
+const genChunk = 1 << 20
+
+func generate(ctx context.Context, wl, osName string, refs int, out string, reg *telemetry.Registry) error {
 	spec, err := workload.ByName(wl)
 	if err != nil {
 		return err
@@ -129,11 +149,32 @@ func generate(wl, osName string, refs int, out string, reg *telemetry.Registry) 
 	}
 	sys := osmodel.NewSystem(v, spec)
 	sys.SetMetrics(reg)
-	gen := sys.Run(refs, sinks)
+	var gen osmodel.GenStats
+	interrupted := false
+	for done := 0; done < refs; {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
+		n := refs - done
+		if n > genChunk {
+			n = genChunk
+		}
+		gen = sys.Run(n, sinks)
+		done += n
+	}
+	// Flush even on interrupt so the partial trace file is well-formed
+	// and replayable (the header is written up front; records are
+	// fixed-width, so any flushed prefix parses cleanly).
 	if w != nil {
 		if err := w.Flush(); err != nil {
 			return err
 		}
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "tracegen: interrupted after %d of %d refs; partial trace is valid\n",
+			counter.Total, refs)
+		return ctx.Err()
 	}
 	fmt.Printf("%s under %s: %d refs (%d ifetch, %d load, %d store), %d instrs, %d OS calls\n",
 		spec.Name, v, counter.Total,
@@ -144,7 +185,7 @@ func generate(wl, osName string, refs int, out string, reg *telemetry.Registry) 
 	return nil
 }
 
-func statFile(path string) error {
+func statFile(path string, skipCorrupt bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -154,13 +195,21 @@ func statFile(path string) error {
 	if err != nil {
 		return err
 	}
+	r.SkipCorrupt = skipCorrupt
 	var c trace.Counter
 	n, err := r.Drain(&c)
 	if err != nil {
+		var ce *trace.CorruptError
+		if errors.As(err, &ce) {
+			return fmt.Errorf("%w (rerun with -skip-corrupt to skip bad records)", ce)
+		}
 		return err
 	}
 	fmt.Printf("%s: %d records (%d ifetch, %d load, %d store; %d user, %d kernel)\n",
 		path, n, c.ByKind[trace.IFetch], c.ByKind[trace.Load], c.ByKind[trace.Store],
 		c.ByMode[trace.User], c.ByMode[trace.Kernel])
+	if skipped := r.Corrupt(); skipped > 0 {
+		fmt.Printf("  skipped %d corrupt record(s)\n", skipped)
+	}
 	return nil
 }

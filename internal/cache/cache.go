@@ -87,10 +87,21 @@ type Cache struct {
 }
 
 // New builds a simulator for cfg. It panics on an invalid configuration;
-// validate untrusted configurations first.
+// callers holding untrusted configurations (design-space sweeps, flag
+// parsing) should use NewE and degrade gracefully instead.
 func New(cfg Config) *Cache {
-	if err := cfg.Validate(); err != nil {
+	c, err := NewE(cfg)
+	if err != nil {
 		panic(err)
+	}
+	return c
+}
+
+// NewE builds a simulator for cfg, returning an error on an invalid
+// configuration instead of panicking.
+func NewE(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("cache: invalid config %v: %w", cfg.CacheConfig, err)
 	}
 	if cfg.Assoc == area.FullyAssociative {
 		// Simulate full associativity as a single set spanning all lines.
@@ -104,7 +115,7 @@ func New(cfg Config) *Cache {
 		assoc:      cfg.Assoc,
 		sets:       make([]uint64, cfg.Lines()),
 		seen:       make(map[uint64]struct{}),
-	}
+	}, nil
 }
 
 // Config returns the simulated configuration.

@@ -1,14 +1,20 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"onchip/internal/area"
 	"onchip/internal/cache"
+	"onchip/internal/faultinject"
 	"onchip/internal/osmodel"
 	"onchip/internal/report"
 	"onchip/internal/search"
+	"onchip/internal/tapeworm"
 	"onchip/internal/telemetry"
 	"onchip/internal/tlb"
 	"onchip/internal/trace"
@@ -26,7 +32,7 @@ func init() {
 // simulation for the D-stream, Tapeworm for the TLBs, and a
 // DECstation-style run for the configuration-independent base CPI
 // (1.0 plus write-buffer and other stalls).
-func buildMeasuredModel(space search.Space, refsEach int, opt Options) *search.Measured {
+func buildMeasuredModel(space search.Space, refsEach int, opt Options) (*search.Measured, []string, error) {
 	cacheCfgs := space.CacheConfigs()
 	tlbCfgs := space.TLBConfigs()
 	var tlbConfigs []tlb.Config
@@ -43,6 +49,7 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) *search.M
 	tlbCycles := make(map[area.TLBConfig]uint64)
 	var instrs uint64
 	var workloadsDone int
+	var failed []string
 
 	// Register the sweep's instruments up front so a live /metrics
 	// scrape sees the series (at zero) from the first second of the
@@ -50,8 +57,46 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) *search.M
 	opt.Metrics.GaugeFunc("sweep.workloads_total", "workloads in the model-building sweep",
 		func() float64 { return float64(len(specs)) })
 	wlDone := opt.Metrics.Counter("sweep.workloads_done", "workload sweeps completed")
+	wlFailed := opt.Metrics.Counter("sweep.workloads_failed", "workload sweeps abandoned after panics")
+	wlRetried := opt.Metrics.Counter("sweep.workloads_retried", "workload sweep retries after a panic")
 	sweepInstrs := opt.Metrics.Counter("sweep.instructions", "instructions simulated by the I-stream sweeps")
 	refsStreamed := opt.Metrics.Counter("sweep.references", "references generated for the cache sweeps so far")
+
+	ctx := opt.ctx()
+
+	// sweepWorkload runs one workload's three sweep stages, reporting
+	// any panic (injected or real) as an error so one bad run degrades
+	// to a footnote instead of killing the whole sweep.
+	sweepWorkload := func(spec osmodel.WorkloadSpec) (isweep *icacheSweep, dsweep *dcacheSweep, results []tapeworm.Result, err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				if site, ok := faultinject.IsInjectedPanic(v); ok {
+					err = fmt.Errorf("injected panic at %s", site)
+				} else {
+					err = fmt.Errorf("panic: %v", v)
+				}
+			}
+		}()
+		opt.FaultInjector.MaybePanic("sweep/" + spec.Name)
+
+		// I-stream: single-pass all-associativity sweeps.
+		isweep = newICacheSweep(cacheCfgs, 8)
+		osmodel.NewSystem(osmodel.Mach, spec).Generate(refsEach, meterRefs(isweep, refsStreamed))
+		if ctx.Err() != nil {
+			return nil, nil, nil, ctx.Err()
+		}
+
+		// D-stream: direct simulation.
+		dsweep = newDCacheSweep(cacheCfgs)
+		osmodel.NewSystem(osmodel.Mach, spec).Generate(refsEach, meterRefs(dsweep, refsStreamed))
+		if ctx.Err() != nil {
+			return nil, nil, nil, ctx.Err()
+		}
+
+		// TLBs: kernel-based (Tapeworm) simulation.
+		results, _ = runTapeworm(osmodel.Mach, spec, refsEach, tlbConfigs)
+		return isweep, dsweep, results, nil
+	}
 
 	// The per-workload sweeps are independent; run them concurrently
 	// and merge the counts under a lock. Each simulator is deterministic
@@ -63,19 +108,36 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) *search.M
 		wg.Add(1)
 		go func(spec osmodel.WorkloadSpec) {
 			defer wg.Done()
-			// I-stream: single-pass all-associativity sweeps.
-			isweep := newICacheSweep(cacheCfgs, 8)
-			osmodel.NewSystem(osmodel.Mach, spec).Generate(refsEach, meterRefs(isweep, refsStreamed))
-
-			// D-stream: direct simulation.
-			dsweep := newDCacheSweep(cacheCfgs)
-			osmodel.NewSystem(osmodel.Mach, spec).Generate(refsEach, meterRefs(dsweep, refsStreamed))
-
-			// TLBs: kernel-based (Tapeworm) simulation.
-			results, _ := runTapeworm(osmodel.Mach, spec, refsEach, tlbConfigs)
+			var isweep *icacheSweep
+			var dsweep *dcacheSweep
+			var results []tapeworm.Result
+			var err error
+			for attempt := 0; ; attempt++ {
+				if ctx.Err() != nil {
+					return
+				}
+				isweep, dsweep, results, err = sweepWorkload(spec)
+				if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					break
+				}
+				opt.progressf("sweep: %s attempt %d failed: %v", spec.Name, attempt+1, err)
+				if attempt >= opt.FaultRetries {
+					break
+				}
+				wlRetried.Inc()
+			}
+			if ctx.Err() != nil {
+				return
+			}
 
 			mu.Lock()
 			defer mu.Unlock()
+			if err != nil {
+				failed = append(failed, fmt.Sprintf("%s (%v)", spec.Name, err))
+				wlFailed.Inc()
+				opt.progressf("sweep: %s FAILED, excluded from the model: %v", spec.Name, err)
+				return
+			}
 			for _, c := range cacheCfgs {
 				iMiss[c] += isweep.misses(c)
 			}
@@ -94,6 +156,13 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) *search.M
 		}(spec)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, failed, err
+	}
+	sort.Strings(failed) // deterministic footer regardless of finish order
+	if workloadsDone == 0 {
+		return nil, failed, fmt.Errorf("every workload sweep failed: %v", failed)
+	}
 
 	// The paper's Table 6/7 totals are 1.0 plus the TLB, I-cache and
 	// D-cache contributions computed from miss ratios and fixed miss
@@ -109,7 +178,7 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) *search.M
 	for _, c := range tlbCfgs {
 		m.TLB[c] = float64(tlbCycles[c]) / n
 	}
-	return m
+	return m, failed, nil
 }
 
 // meterRefs threads a sweep sink through a batched reference counter:
@@ -139,10 +208,18 @@ func (m *refMeter) Ref(r trace.Ref) {
 	}
 }
 
-func runAllocation(opt Options, space search.Space, title string, extraNotes []string) (Result, error) {
+func runAllocation(opt Options, space search.Space, id, title string, extraNotes []string) (Result, error) {
 	refs := opt.refs(defaultSweepRefs)
-	model := buildMeasuredModel(space, refs, opt)
-	var searchOpts []search.Option
+	model, failedWorkloads, err := buildMeasuredModel(space, refs, opt)
+	if err != nil {
+		return Result{}, fmt.Errorf("model-building sweep: %w", err)
+	}
+	// The checkpoint label binds a checkpoint file to this experiment
+	// and scale; the space signature inside search then binds it to the
+	// exact model values, so a resume against a different refs count or
+	// a differently-degraded model is refused, not silently wrong.
+	label := fmt.Sprintf("%s/refs=%d", id, refs)
+	searchOpts := []search.Option{search.WithContext(opt.ctx())}
 	if opt.Progress != nil || opt.SweepObserver != nil {
 		searchOpts = append(searchOpts, search.WithProgress(0, func(p search.Progress) {
 			if opt.Progress != nil {
@@ -153,7 +230,31 @@ func runAllocation(opt Options, space search.Space, title string, extraNotes []s
 			}
 		}))
 	}
-	allocs := search.Enumerate(space, area.Default(), area.BudgetRBE, model, searchOpts...)
+	if opt.CheckpointPath != "" {
+		searchOpts = append(searchOpts, search.WithCheckpoint(opt.CheckpointPath, label, 0))
+		cpWrites := opt.Metrics.Counter("search.checkpoints_written", "sweep checkpoints persisted")
+		searchOpts = append(searchOpts, search.WithCheckpointObserver(func(cp *search.Checkpoint) {
+			cpWrites.Inc()
+			if opt.CheckpointObserver != nil {
+				opt.CheckpointObserver(cp)
+			}
+		}))
+	}
+	if opt.ResumePath != "" {
+		cp, err := search.LoadCheckpoint(opt.ResumePath)
+		if err != nil {
+			return Result{}, err
+		}
+		opt.progressf("search: resuming from %s (%d pairs done, %d kept)",
+			opt.ResumePath, cp.PairsDone, len(cp.Kept))
+		searchOpts = append(searchOpts, search.WithResume(cp))
+		opt.Metrics.Counter("search.resumed_pairs", "outer pairs skipped via checkpoint resume").
+			Add(uint64(cp.PairsDone))
+	}
+	allocs, err := search.EnumerateE(space, area.Default(), area.BudgetRBE, model, searchOpts...)
+	if err != nil {
+		return Result{}, fmt.Errorf("enumeration: %w", err)
+	}
 	nc := len(space.CacheConfigs())
 	opt.Metrics.Counter("search.configs_priced", "TLB x I-cache x D-cache combinations priced").
 		Add(uint64(len(space.TLBConfigs()) * nc * nc))
@@ -173,6 +274,11 @@ func runAllocation(opt Options, space search.Space, title string, extraNotes []s
 	notes := append([]string{
 		fmt.Sprintf("%d feasible allocations under the %d-rbe budget", len(allocs), area.BudgetRBE),
 	}, extraNotes...)
+	if len(failedWorkloads) > 0 {
+		notes = append(notes, fmt.Sprintf(
+			"DEGRADED: %d workload sweep(s) failed and are excluded from the model: %s",
+			len(failedWorkloads), strings.Join(failedWorkloads, "; ")))
+	}
 	return Result{Text: t.String(), Notes: notes}, nil
 }
 
@@ -182,7 +288,7 @@ func allocRow(t *report.Table, rank int, a search.Allocation) {
 }
 
 func table6(opt Options) (Result, error) {
-	return runAllocation(opt, search.Table5(),
+	return runAllocation(opt, search.Table5(), "table6",
 		"Ten best area allocations under 250,000 rbes (Mach measurements)",
 		[]string{
 			"paper: every top-10 configuration uses a 512-entry TLB; the best uses only ~163k rbes",
@@ -193,7 +299,7 @@ func table6(opt Options) (Result, error) {
 func table7(opt Options) (Result, error) {
 	space := search.Table5()
 	space.MaxCacheAssoc = 2
-	return runAllocation(opt, space,
+	return runAllocation(opt, space, "table7",
 		"Best allocations with caches restricted to 1- or 2-way associativity",
 		[]string{
 			"paper: the restriction raises the best CPI from 1.333 to 1.428; TLBs stay large and I-caches 2-4x the D-cache",

@@ -6,10 +6,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
+	"onchip/internal/faultinject"
 	"onchip/internal/search"
 	"onchip/internal/telemetry"
 )
@@ -38,6 +40,40 @@ type Options struct {
 	// text). The observability server installs itself here so a sweep
 	// in flight can be watched over GET /sweep.
 	SweepObserver func(search.Progress)
+	// Context, when non-nil, makes long-running experiments
+	// cancellable: sweep workers stop at the next stage boundary, the
+	// enumeration loop stops between pricing steps (persisting a
+	// checkpoint when CheckpointPath is set), and Run returns the
+	// context's error. Nil means run to completion.
+	Context context.Context
+	// CheckpointPath, when non-empty, makes the allocation experiments
+	// (table6/table7) persist enumeration state there periodically and
+	// on cancellation; see search.WithCheckpoint.
+	CheckpointPath string
+	// ResumePath, when non-empty, seeds the allocation experiments from
+	// a checkpoint previously written to CheckpointPath (or any
+	// compatible file): completed work is skipped and the final ranking
+	// is identical to an uninterrupted run.
+	ResumePath string
+	// CheckpointObserver, when non-nil, is invoked after every
+	// checkpoint write (the observability server installs itself here).
+	CheckpointObserver func(*search.Checkpoint)
+	// FaultInjector, when non-nil, injects worker panics into the
+	// model-building sweeps (deterministically, per its seed) so the
+	// recovery paths are exercised; see internal/faultinject.
+	FaultInjector *faultinject.Injector
+	// FaultRetries is the number of times a panicked workload sweep is
+	// retried before it is marked failed and excluded from the model.
+	// Zero means no retries.
+	FaultRetries int
+}
+
+// ctx returns the experiment context, never nil.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func (o Options) refs(def int) int {
@@ -103,6 +139,9 @@ func Run(id string, opt Options) (Result, error) {
 	r, ok := registry[id]
 	if !ok {
 		return Result{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	if err := opt.ctx().Err(); err != nil {
+		return Result{}, fmt.Errorf("experiments: %s: %w", id, err)
 	}
 	res, err := r.run(opt)
 	if err != nil {

@@ -1,0 +1,282 @@
+// Package faultinject provides a deterministic, seedable fault
+// injector for exercising the resilience paths of the simulators: it
+// can corrupt or truncate a trace byte stream, fail reads with
+// transient I/O errors, delay reads, and panic inside sweep workers --
+// the failure modes an hours-long batch run over real trace files must
+// survive. A retry-with-backoff wrapper absorbs the transient class.
+//
+// Everything is driven by a single seeded PRNG, so a given (seed,
+// probabilities) pair replays the exact same fault schedule: a run that
+// failed under injection can be reproduced bit-for-bit.
+//
+// The zero Injector pointer is a valid no-op, so call sites can thread
+// an *Injector unconditionally and pay nothing when injection is off.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"onchip/internal/telemetry"
+)
+
+// ErrInjected is the transient I/O error produced by injected read
+// failures. Retry treats it (and anything wrapping it) as retryable.
+var ErrInjected = errors.New("faultinject: injected transient I/O error")
+
+// Config sets the fault probabilities. All probabilities are per
+// injection site visit (per Read call for the reader faults) and may be
+// zero; a Config with every probability zero injects nothing.
+type Config struct {
+	// Seed seeds the fault schedule; the same seed and probabilities
+	// reproduce the same faults.
+	Seed int64
+	// IOErrProb is the probability a Read call fails with ErrInjected
+	// (transient: a retry of the same call proceeds normally).
+	IOErrProb float64
+	// CorruptProb is the probability a Read call flips one byte of the
+	// data it returns.
+	CorruptProb float64
+	// TruncateProb is the probability a Read call truncates the stream:
+	// the call and every later one return io.EOF.
+	TruncateProb float64
+	// DelayProb and Delay inject latency: with probability DelayProb a
+	// Read call sleeps for Delay before proceeding.
+	DelayProb float64
+	Delay     time.Duration
+	// PanicProb is the probability a MaybePanic site panics with an
+	// injectedPanic value.
+	PanicProb float64
+}
+
+// Enabled reports whether any fault has a non-zero probability.
+func (c Config) Enabled() bool {
+	return c.IOErrProb > 0 || c.CorruptProb > 0 || c.TruncateProb > 0 ||
+		(c.DelayProb > 0 && c.Delay > 0) || c.PanicProb > 0
+}
+
+// Injector draws from a seeded PRNG to decide when each configured
+// fault fires. It is safe for concurrent use; a nil *Injector is a
+// no-op at every method.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	ioErrs      telemetry.Counter
+	corruptions telemetry.Counter
+	truncations telemetry.Counter
+	delays      telemetry.Counter
+	panics      telemetry.Counter
+}
+
+// New returns an Injector for cfg. It returns nil (the no-op injector)
+// when cfg injects nothing, so callers can gate wiring on i != nil.
+func New(cfg Config) *Injector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Describe publishes the injector's fault counters with the registry
+// under prefix (e.g. "faults"). Safe on a nil injector or registry.
+func (i *Injector) Describe(reg *telemetry.Registry, prefix string) {
+	if i == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc(prefix+".io_errors", "injected transient I/O errors",
+		func() uint64 { return i.ioErrs.Value() })
+	reg.CounterFunc(prefix+".corruptions", "injected byte corruptions",
+		func() uint64 { return i.corruptions.Value() })
+	reg.CounterFunc(prefix+".truncations", "injected stream truncations",
+		func() uint64 { return i.truncations.Value() })
+	reg.CounterFunc(prefix+".delays", "injected read delays",
+		func() uint64 { return i.delays.Value() })
+	reg.CounterFunc(prefix+".panics", "injected worker panics",
+		func() uint64 { return i.panics.Value() })
+}
+
+// roll returns true with probability p, consuming one PRNG draw (so the
+// schedule is stable regardless of which faults are enabled).
+func (i *Injector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return i.rng.Float64() < p
+}
+
+// injectedPanic is the value thrown by MaybePanic.
+type injectedPanic struct{ site string }
+
+func (p injectedPanic) String() string {
+	return fmt.Sprintf("faultinject: injected panic at %s", p.site)
+}
+
+// MaybePanic panics with an injected fault value with probability
+// PanicProb. Call it at the top of recoverable worker bodies. No-op on
+// a nil injector.
+func (i *Injector) MaybePanic(site string) {
+	if i == nil || i.cfg.PanicProb <= 0 {
+		return
+	}
+	i.mu.Lock()
+	fire := i.roll(i.cfg.PanicProb)
+	i.mu.Unlock()
+	if fire {
+		i.panics.Inc()
+		panic(injectedPanic{site: site})
+	}
+}
+
+// IsInjectedPanic reports whether a recovered panic value came from
+// MaybePanic, returning the site that threw it.
+func IsInjectedPanic(v any) (site string, ok bool) {
+	p, ok := v.(injectedPanic)
+	return p.site, ok
+}
+
+// Reader wraps r with the injector's read faults: transient errors,
+// one-byte corruptions, truncation, and delays. A nil injector returns
+// r unchanged.
+func (i *Injector) Reader(r io.Reader) io.Reader {
+	if i == nil {
+		return r
+	}
+	return &faultyReader{r: r, inj: i}
+}
+
+type faultyReader struct {
+	r         io.Reader
+	inj       *Injector
+	truncated bool
+}
+
+func (f *faultyReader) Read(p []byte) (int, error) {
+	if f.truncated {
+		return 0, io.EOF
+	}
+	i := f.inj
+	i.mu.Lock()
+	delay := i.roll(i.cfg.DelayProb)
+	ioErr := i.roll(i.cfg.IOErrProb)
+	trunc := i.roll(i.cfg.TruncateProb)
+	corrupt := i.roll(i.cfg.CorruptProb)
+	// Draw the corruption position now so the PRNG consumption per call
+	// is fixed and the schedule deterministic.
+	pos := i.rng.Int63()
+	i.mu.Unlock()
+
+	if delay {
+		i.delays.Inc()
+		time.Sleep(i.cfg.Delay)
+	}
+	if ioErr {
+		// Fail before consuming anything from the underlying reader, so
+		// a retry of this call sees the stream exactly where it was.
+		i.ioErrs.Inc()
+		return 0, ErrInjected
+	}
+	if trunc {
+		i.truncations.Inc()
+		f.truncated = true
+		return 0, io.EOF
+	}
+	n, err := f.r.Read(p)
+	if corrupt && n > 0 {
+		i.corruptions.Inc()
+		p[pos%int64(n)] ^= 0xff
+	}
+	return n, err
+}
+
+// RetryPolicy shapes Retry's backoff: up to Attempts tries, sleeping
+// BaseDelay after the first failure and doubling up to MaxDelay.
+type RetryPolicy struct {
+	Attempts  int
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+// DefaultRetryPolicy retries transient I/O up to 5 times with
+// 1ms..16ms exponential backoff -- enough to ride out injected fault
+// bursts at a few percent error probability without stretching runs.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Attempts: 5, BaseDelay: time.Millisecond, MaxDelay: 16 * time.Millisecond}
+}
+
+// Transient reports whether err is worth retrying: an injected
+// transient error, or any error implementing `Transient() bool`
+// truthfully.
+func Transient(err error) bool {
+	if errors.Is(err, ErrInjected) {
+		return true
+	}
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// Retry runs fn until it succeeds, returns a non-transient error, the
+// attempts are exhausted, or ctx is cancelled. The last error is
+// returned on failure.
+func Retry(ctx context.Context, p RetryPolicy, fn func() error) error {
+	if p.Attempts <= 0 {
+		p.Attempts = 1
+	}
+	delay := p.BaseDelay
+	var err error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(delay):
+			}
+			if delay *= 2; p.MaxDelay > 0 && delay > p.MaxDelay {
+				delay = p.MaxDelay
+			}
+		}
+		if err = fn(); err == nil || !Transient(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("faultinject: %d attempts exhausted: %w", p.Attempts, err)
+}
+
+// RetryReader wraps r so that transient read errors are retried in
+// place with the policy's backoff; the stream position is unchanged
+// across retried calls (transient failures consume nothing), so the
+// consumer above never observes them. Non-transient errors pass
+// through.
+func RetryReader(r io.Reader, p RetryPolicy) io.Reader {
+	return &retryReader{r: r, p: p}
+}
+
+type retryReader struct {
+	r io.Reader
+	p RetryPolicy
+}
+
+func (rr *retryReader) Read(p []byte) (int, error) {
+	var n int
+	var rerr error
+	err := Retry(context.Background(), rr.p, func() error {
+		n, rerr = rr.r.Read(p)
+		if n > 0 {
+			// Data was consumed; stop retrying and deliver it (with the
+			// error, per the io.Reader contract) so no position is lost.
+			return nil
+		}
+		return rerr
+	})
+	if n > 0 {
+		return n, rerr
+	}
+	return n, err
+}

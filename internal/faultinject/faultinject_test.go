@@ -1,0 +1,238 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"onchip/internal/telemetry"
+)
+
+func TestNewReturnsNilWhenDisabled(t *testing.T) {
+	if inj := New(Config{Seed: 7}); inj != nil {
+		t.Error("New with no faults enabled should return the nil no-op injector")
+	}
+	// Delay without a duration injects nothing.
+	if inj := New(Config{DelayProb: 1}); inj != nil {
+		t.Error("DelayProb without Delay should not enable the injector")
+	}
+}
+
+func TestNilInjectorIsSafe(t *testing.T) {
+	var inj *Injector
+	inj.MaybePanic("anywhere")
+	inj.Describe(telemetry.NewRegistry(), "faults")
+	inj.Describe(nil, "faults")
+	r := bytes.NewReader([]byte("data"))
+	if got := inj.Reader(r); got != io.Reader(r) {
+		t.Error("nil injector should return the reader unchanged")
+	}
+}
+
+// The same seed and probabilities must replay the same fault schedule.
+func TestReaderDeterministicSchedule(t *testing.T) {
+	data := bytes.Repeat([]byte{0xa5}, 4096)
+	run := func() (out []byte, errs []string) {
+		inj := New(Config{Seed: 42, IOErrProb: 0.3, CorruptProb: 0.2})
+		r := inj.Reader(bytes.NewReader(data))
+		buf := make([]byte, 64)
+		for {
+			n, err := r.Read(buf)
+			out = append(out, buf[:n]...)
+			if err != nil {
+				errs = append(errs, err.Error())
+				if err != ErrInjected {
+					return
+				}
+			}
+		}
+	}
+	out1, errs1 := run()
+	out2, errs2 := run()
+	if !bytes.Equal(out1, out2) {
+		t.Error("same seed produced different corrupted streams")
+	}
+	if fmt.Sprint(errs1) != fmt.Sprint(errs2) {
+		t.Errorf("same seed produced different error schedules:\n%v\n%v", errs1, errs2)
+	}
+	if len(errs1) < 2 {
+		t.Errorf("expected several injected errors at 30%%, got %v", errs1)
+	}
+}
+
+func TestReaderInjectsTransientErrorsWithoutLosingData(t *testing.T) {
+	data := bytes.Repeat([]byte{1, 2, 3, 4}, 1024)
+	inj := New(Config{Seed: 1, IOErrProb: 0.25})
+	r := inj.Reader(bytes.NewReader(data))
+	var out []byte
+	buf := make([]byte, 100)
+	injected := 0
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err == ErrInjected {
+			injected++
+			continue // a transient failure consumes nothing; just try again
+		}
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if injected == 0 {
+		t.Fatal("no transient errors injected at 25%")
+	}
+	if !bytes.Equal(out, data) {
+		t.Errorf("retrying past transient errors lost data: got %d bytes, want %d", len(out), len(data))
+	}
+}
+
+func TestReaderCorruption(t *testing.T) {
+	data := bytes.Repeat([]byte{0x00}, 256)
+	inj := New(Config{Seed: 3, CorruptProb: 1})
+	r := inj.Reader(bytes.NewReader(data))
+	buf := make([]byte, 256)
+	n, err := io.ReadFull(r, buf)
+	if err != nil || n != 256 {
+		t.Fatalf("ReadFull: %d, %v", n, err)
+	}
+	flipped := 0
+	for _, b := range buf {
+		if b != 0 {
+			flipped++
+		}
+	}
+	if flipped == 0 {
+		t.Error("CorruptProb=1 flipped no bytes")
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	inj := New(Config{Seed: 5, TruncateProb: 1})
+	r := inj.Reader(bytes.NewReader(bytes.Repeat([]byte{7}, 1024)))
+	if n, err := r.Read(make([]byte, 16)); n != 0 || err != io.EOF {
+		t.Errorf("truncated read = %d, %v; want 0, EOF", n, err)
+	}
+	// And it stays truncated.
+	if n, err := r.Read(make([]byte, 16)); n != 0 || err != io.EOF {
+		t.Errorf("read after truncation = %d, %v; want 0, EOF", n, err)
+	}
+}
+
+// RetryReader must deliver the full stream despite a high transient
+// error rate -- the acceptance scenario's I/O half.
+func TestRetryReaderDeliversFullStream(t *testing.T) {
+	data := bytes.Repeat([]byte{0xc3, 0x96}, 8192)
+	inj := New(Config{Seed: 9, IOErrProb: 0.2})
+	r := RetryReader(inj.Reader(bytes.NewReader(data)), RetryPolicy{Attempts: 8, BaseDelay: time.Microsecond})
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("ReadAll through retry reader: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("retry reader mangled the stream: got %d bytes, want %d", len(got), len(data))
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), RetryPolicy{Attempts: 3, BaseDelay: time.Microsecond}, func() error {
+		calls++
+		return ErrInjected
+	})
+	if calls != 3 {
+		t.Errorf("fn called %d times, want 3", calls)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("exhausted retry should wrap the last error, got %v", err)
+	}
+}
+
+func TestRetryStopsOnNonTransient(t *testing.T) {
+	fatal := errors.New("disk on fire")
+	calls := 0
+	err := Retry(context.Background(), DefaultRetryPolicy(), func() error {
+		calls++
+		return fatal
+	})
+	if calls != 1 || !errors.Is(err, fatal) {
+		t.Errorf("non-transient error retried: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Retry(ctx, RetryPolicy{Attempts: 5, BaseDelay: time.Hour}, func() error {
+		return ErrInjected
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled retry returned %v, want context.Canceled", err)
+	}
+}
+
+type transientErr struct{}
+
+func (transientErr) Error() string   { return "flaky" }
+func (transientErr) Transient() bool { return true }
+
+func TestTransientClassification(t *testing.T) {
+	if !Transient(ErrInjected) {
+		t.Error("ErrInjected should be transient")
+	}
+	if !Transient(fmt.Errorf("wrapped: %w", ErrInjected)) {
+		t.Error("wrapped ErrInjected should be transient")
+	}
+	if !Transient(transientErr{}) {
+		t.Error("Transient() bool interface should be honored")
+	}
+	if Transient(errors.New("fatal")) {
+		t.Error("plain errors are not transient")
+	}
+	if Transient(nil) {
+		t.Error("nil is not transient")
+	}
+}
+
+func TestMaybePanicAndRecognition(t *testing.T) {
+	inj := New(Config{Seed: 1, PanicProb: 1})
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("PanicProb=1 did not panic")
+		}
+		site, ok := IsInjectedPanic(v)
+		if !ok || site != "worker/3" {
+			t.Errorf("IsInjectedPanic = %q, %v", site, ok)
+		}
+	}()
+	inj.MaybePanic("worker/3")
+}
+
+func TestIsInjectedPanicRejectsRealPanics(t *testing.T) {
+	if _, ok := IsInjectedPanic("index out of range"); ok {
+		t.Error("a real panic value misclassified as injected")
+	}
+}
+
+func TestDescribePublishesCounters(t *testing.T) {
+	inj := New(Config{Seed: 2, TruncateProb: 1})
+	reg := telemetry.NewRegistry()
+	inj.Describe(reg, "faults")
+	inj.Reader(bytes.NewReader([]byte{1, 2, 3})).Read(make([]byte, 3))
+	found := false
+	for _, m := range reg.Snapshot() {
+		if m.Name == "faults.truncations" && m.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("faults.truncations counter not published or not incremented")
+	}
+}

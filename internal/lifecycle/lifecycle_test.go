@@ -1,0 +1,55 @@
+package lifecycle
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestNotifyCancelsOnSignal(t *testing.T) {
+	var buf bytes.Buffer
+	ctx, stop := Notify(context.Background(), "testbin", &buf)
+	defer stop()
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatalf("sending SIGINT to self: %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not cancelled within 5s of SIGINT")
+	}
+	if !strings.Contains(buf.String(), "testbin") || !strings.Contains(buf.String(), "shutting down gracefully") {
+		t.Errorf("shutdown notice = %q", buf.String())
+	}
+}
+
+func TestNotifyStopReleasesWithoutSignal(t *testing.T) {
+	ctx, stop := Notify(context.Background(), "testbin", &bytes.Buffer{})
+	if ctx.Err() != nil {
+		t.Fatal("context cancelled before any signal")
+	}
+	stop()
+	stop() // idempotent
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("stop should cancel the context")
+	}
+}
+
+func TestNotifyInheritsParentCancellation(t *testing.T) {
+	parent, cancel := context.WithCancel(context.Background())
+	ctx, stop := Notify(parent, "testbin", &bytes.Buffer{})
+	defer stop()
+	cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("child context should follow the parent")
+	}
+}

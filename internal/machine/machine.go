@@ -161,12 +161,36 @@ type Machine struct {
 }
 
 // New assembles a machine; it panics on invalid component configs.
+// Callers holding untrusted configurations (design-space sweeps, flag
+// parsing) should use NewE and degrade gracefully instead.
 func New(cfg Config) *Machine {
+	m, err := NewE(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NewE assembles a machine, returning an error on an invalid component
+// configuration instead of panicking.
+func NewE(cfg Config) (*Machine, error) {
+	ic, err := cache.NewE(cfg.ICache)
+	if err != nil {
+		return nil, fmt.Errorf("machine: I-cache: %w", err)
+	}
+	mtlb, err := tlb.NewManagedE(cfg.TLB, cfg.Costs())
+	if err != nil {
+		return nil, fmt.Errorf("machine: TLB: %w", err)
+	}
+	wb, err := wbuf.NewE(cfg.WB)
+	if err != nil {
+		return nil, fmt.Errorf("machine: write buffer: %w", err)
+	}
 	m := &Machine{
 		cfg: cfg,
-		ic:  cache.New(cfg.ICache),
-		tlb: tlb.NewManaged(cfg.TLB, cfg.Costs()),
-		wb:  wbuf.New(cfg.WB),
+		ic:  ic,
+		tlb: mtlb,
+		wb:  wb,
 	}
 	if cfg.Unified {
 		// One physical array serves both streams; miss penalties for
@@ -174,10 +198,14 @@ func New(cfg Config) *Machine {
 		m.dc = m.ic
 		m.cfg.DCache = cfg.ICache
 	} else {
-		m.dc = cache.New(cfg.DCache)
+		if m.dc, err = cache.NewE(cfg.DCache); err != nil {
+			return nil, fmt.Errorf("machine: D-cache: %w", err)
+		}
 	}
 	if cfg.L2 != nil {
-		m.l2 = cache.New(*cfg.L2)
+		if m.l2, err = cache.NewE(*cfg.L2); err != nil {
+			return nil, fmt.Errorf("machine: L2: %w", err)
+		}
 		if m.l2Hit = uint64(cfg.L2HitCycles); m.l2Hit == 0 {
 			m.l2Hit = 4
 		}
@@ -214,7 +242,7 @@ func New(cfg Config) *Machine {
 		m.instrC = reg.Counter("machine.instructions", "instructions retired")
 		m.cycleC = reg.Counter("machine.cycles", "machine cycles")
 	}
-	return m
+	return m, nil
 }
 
 // slug returns the component's lower-case metric-name form.

@@ -10,6 +10,8 @@
 package monitor
 
 import (
+	"context"
+
 	"onchip/internal/machine"
 	"onchip/internal/osmodel"
 	"onchip/internal/telemetry"
@@ -80,9 +82,21 @@ func MeasureUserOnly(spec osmodel.WorkloadSpec, refs int, cfg machine.Config) Ro
 // MeasureSuite runs every workload under the variant and returns the
 // rows plus an average row (the paper's Table 4 "Average").
 func MeasureSuite(v osmodel.Variant, specs []osmodel.WorkloadSpec, refsEach int, cfg machine.Config) []Row {
+	rows, _ := MeasureSuiteContext(context.Background(), v, specs, refsEach, cfg)
+	return rows
+}
+
+// MeasureSuiteContext is MeasureSuite with cancellation: the context is
+// polled between workloads, and on cancellation the rows measured so
+// far are returned (no average row -- a partial mean would be
+// misleading) together with ctx.Err().
+func MeasureSuiteContext(ctx context.Context, v osmodel.Variant, specs []osmodel.WorkloadSpec, refsEach int, cfg machine.Config) ([]Row, error) {
 	rows := make([]Row, 0, len(specs)+1)
 	var avg machine.Breakdown
 	for _, spec := range specs {
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
 		r := Measure(v, spec, refsEach, cfg)
 		rows = append(rows, r)
 		avg.CPI += r.Breakdown.CPI
@@ -99,5 +113,5 @@ func MeasureSuite(v osmodel.Variant, specs []osmodel.WorkloadSpec, refsEach int,
 		}
 		rows = append(rows, Row{Workload: "Average", OS: v.String(), Breakdown: avg})
 	}
-	return rows
+	return rows, nil
 }

@@ -44,6 +44,7 @@ type Server struct {
 	sweep   search.Progress
 	sweepOK bool
 	sweepAt time.Time
+	ckpt    checkpointState
 
 	closeOnce sync.Once
 	done      chan struct{}
@@ -72,6 +73,34 @@ func (s *Server) Store() *Store { return s.store }
 func (s *Server) ObserveSweep(p search.Progress) {
 	s.mu.Lock()
 	s.sweep, s.sweepOK, s.sweepAt = p, true, time.Now()
+	s.mu.Unlock()
+}
+
+// checkpointState is the /sweep view of the latest persisted sweep
+// checkpoint: enough to see that fault tolerance is live and how much
+// of the enumeration an interrupt would preserve.
+type checkpointState struct {
+	Label     string `json:"label"`
+	SpaceSig  string `json:"space_sig"`
+	PairsDone int    `json:"pairs_done"`
+	Priced    int    `json:"priced"`
+	Kept      int    `json:"kept"`
+	Written   uint64 `json:"written"` // checkpoints persisted this run
+}
+
+// ObserveCheckpoint records the latest persisted sweep checkpoint for
+// /sweep. It matches the experiments.Options.CheckpointObserver
+// signature.
+func (s *Server) ObserveCheckpoint(cp *search.Checkpoint) {
+	s.mu.Lock()
+	s.ckpt = checkpointState{
+		Label:     cp.Label,
+		SpaceSig:  cp.SpaceSig,
+		PairsDone: cp.PairsDone,
+		Priced:    cp.Priced,
+		Kept:      len(cp.Kept),
+		Written:   s.ckpt.Written + 1,
+	}
 	s.mu.Unlock()
 }
 
@@ -173,13 +202,18 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleSweep(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	p, ok, at := s.sweep, s.sweepOK, s.sweepAt
+	ckpt := s.ckpt
 	s.mu.Unlock()
 	var body struct {
 		Sweep         *search.Progress `json:"sweep"`
 		UpdatedUnixMs int64            `json:"updated_unix_ms,omitempty"`
+		Checkpoint    *checkpointState `json:"checkpoint,omitempty"`
 	}
 	if ok {
 		body.Sweep, body.UpdatedUnixMs = &p, at.UnixMilli()
+	}
+	if ckpt.Written > 0 {
+		body.Checkpoint = &ckpt
 	}
 	writeJSON(w, body)
 }

@@ -1,0 +1,132 @@
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+)
+
+// The checkpoint file is a one-line header followed by a JSON body:
+//
+//	header: "OCKP <version> <crc32-of-body-hex>\n"
+//	body:   the Checkpoint, JSON-encoded
+//
+// Files are written to a temporary sibling and atomically renamed into
+// place, so an interrupted write never leaves a half-checkpoint where a
+// resume would find it; the checksum rejects torn or hand-edited files.
+
+const checkpointVersion = 1
+
+// Checkpoint is the persisted state of a partially-completed
+// design-space enumeration: which outer (TLB, I-cache) pairs have been
+// fully priced, and every allocation kept so far. Resuming from it and
+// letting the sweep finish provably reproduces the uninterrupted
+// ranking: SpaceSig fingerprints the priced configuration lists --
+// geometry, area, and model CPI of every TLB and cache configuration,
+// plus the budget -- so a checkpoint only resumes a sweep whose inputs
+// are bit-identical, and the surviving append order matches the
+// uninterrupted run's.
+type Checkpoint struct {
+	Version int `json:"version"`
+	// Label tags the sweep (experiment id and scale, e.g.
+	// "table6/refs=2000000"); resume requires an exact match.
+	Label string `json:"label"`
+	// SpaceSig fingerprints the priced design space and performance
+	// model; see the type comment.
+	SpaceSig string `json:"space_sig"`
+	// PairsDone is the number of outer (TLB, I-cache) pairs fully
+	// priced; enumeration resumes at the next pair.
+	PairsDone int `json:"pairs_done"`
+	// Priced is the number of TLB x I-cache x D-cache combinations
+	// considered so far (the Progress.Priced counter).
+	Priced int `json:"priced"`
+	// Kept holds every allocation within budget so far, in discovery
+	// order.
+	Kept []Allocation `json:"kept"`
+}
+
+// Save writes the checkpoint to path atomically: the body goes to a
+// temporary file in the same directory, is checksummed, and is renamed
+// over path only once fully written.
+func (cp *Checkpoint) Save(path string) error {
+	body, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("search: encoding checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ockp-*")
+	if err != nil {
+		return fmt.Errorf("search: writing checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	hdr := fmt.Sprintf("OCKP %d %08x\n", checkpointVersion, crc32.ChecksumIEEE(body))
+	if _, err := tmp.WriteString(hdr); err == nil {
+		_, err = tmp.Write(body)
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("search: writing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("search: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("search: writing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and verifies a checkpoint written by Save.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("search: reading checkpoint: %w", err)
+	}
+	var version int
+	var sum uint32
+	n, err := fmt.Sscanf(string(data), "OCKP %d %08x\n", &version, &sum)
+	if err != nil || n != 2 {
+		return nil, fmt.Errorf("search: %s: not a checkpoint file (bad header)", path)
+	}
+	if version != checkpointVersion {
+		return nil, fmt.Errorf("search: %s: unsupported checkpoint version %d (want %d)",
+			path, version, checkpointVersion)
+	}
+	i := 0
+	for i < len(data) && data[i] != '\n' {
+		i++
+	}
+	body := data[i+1:]
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("search: %s: checkpoint checksum mismatch (file corrupt or torn write)", path)
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(body, &cp); err != nil {
+		return nil, fmt.Errorf("search: %s: decoding checkpoint: %w", path, err)
+	}
+	return &cp, nil
+}
+
+// spaceSignature fingerprints everything the enumeration's output
+// depends on: the geometry, area, and CPI contribution of every priced
+// TLB and cache configuration, and the budget. Two sweeps with the same
+// signature produce identical rankings.
+func spaceSignature(tlbs []pricedTLB, caches []pricedCache, budget float64) string {
+	h := fnv.New64a()
+	put := func(vs ...any) {
+		for _, v := range vs {
+			fmt.Fprintf(h, "%v|", v)
+		}
+	}
+	put("budget", budget, len(tlbs), len(caches))
+	for _, t := range tlbs {
+		put(t.cfg, t.area, t.cpi)
+	}
+	for _, c := range caches {
+		put(c.cfg, c.area, c.icpi, c.dcpi)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

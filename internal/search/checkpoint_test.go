@@ -1,0 +1,209 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"onchip/internal/area"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ockp")
+	cp := &Checkpoint{
+		Version:   checkpointVersion,
+		Label:     "table6/refs=1000",
+		SpaceSig:  "00000000deadbeef",
+		PairsDone: 42,
+		Priced:    4200,
+		Kept: []Allocation{{
+			TLB:     area.TLBConfig{Entries: 64, Assoc: 2},
+			ICache:  area.CacheConfig{CapacityBytes: 8 << 10, LineWords: 4, Assoc: 1},
+			DCache:  area.CacheConfig{CapacityBytes: 8 << 10, LineWords: 4, Assoc: 1},
+			AreaRBE: 120000,
+			CPI:     1.42,
+		}},
+	}
+	if err := cp.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if got.Label != cp.Label || got.SpaceSig != cp.SpaceSig ||
+		got.PairsDone != cp.PairsDone || got.Priced != cp.Priced {
+		t.Errorf("round trip changed fields: %+v vs %+v", got, cp)
+	}
+	if len(got.Kept) != 1 || got.Kept[0] != cp.Kept[0] {
+		t.Errorf("round trip changed kept allocations: %v", got.Kept)
+	}
+}
+
+func TestCheckpointRejectsTampering(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.ockp")
+	cp := &Checkpoint{Version: checkpointVersion, Label: "x", SpaceSig: "sig", PairsDone: 1}
+	if err := cp.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the JSON body; the CRC must catch it.
+	tampered := append([]byte(nil), data...)
+	tampered[len(tampered)-2] ^= 0xff
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Error("LoadCheckpoint accepted a corrupted body")
+	}
+	// Garbage header.
+	if err := os.WriteFile(path, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Error("LoadCheckpoint accepted a garbage header")
+	}
+	// Unsupported version.
+	if err := os.WriteFile(path, []byte("OCKP 999 00000000\n{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Error("LoadCheckpoint accepted an unsupported version")
+	}
+}
+
+// smallSpace keeps the checkpoint tests fast: checkpoints serialize
+// every kept allocation, and the full Table 5 space keeps almost two
+// hundred thousand.
+func smallSpace() Space {
+	return Space{
+		TLBEntries:   []int{64, 128},
+		TLBAssocs:    []int{2},
+		TLBFAEntries: []int{64},
+		CacheSizes:   []int{4 << 10, 8 << 10},
+		CacheAssocs:  []int{1, 2},
+		CacheLines:   []int{4, 8},
+	}
+}
+
+// The acceptance scenario: cancel an enumeration mid-sweep, resume from
+// the checkpoint it wrote, and require the final ranking to be
+// element-for-element identical to an uninterrupted run.
+func TestEnumerateCancelAndResumeIdentical(t *testing.T) {
+	space := smallSpace()
+	am := area.Default()
+	pm := MachLike()
+	baseline := Enumerate(space, am, area.BudgetRBE, pm)
+	if len(baseline) == 0 {
+		t.Fatal("baseline sweep kept nothing")
+	}
+
+	path := filepath.Join(t.TempDir(), "sweep.ockp")
+	const label = "test-sweep"
+
+	// Cancel after the second periodic checkpoint lands.
+	ctx, cancel := context.WithCancel(context.Background())
+	writes := 0
+	partial, err := EnumerateE(space, am, area.BudgetRBE, pm,
+		WithContext(ctx),
+		WithCheckpoint(path, label, 5),
+		WithCheckpointObserver(func(*Checkpoint) {
+			if writes++; writes == 2 {
+				cancel()
+			}
+		}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled enumeration returned err = %v, want context.Canceled", err)
+	}
+	if len(partial) >= len(baseline) {
+		t.Fatalf("cancellation kept the whole space (%d of %d): cancelled too late to test resume",
+			len(partial), len(baseline))
+	}
+
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint after cancel: %v", err)
+	}
+	if cp.Label != label || cp.PairsDone == 0 {
+		t.Fatalf("implausible checkpoint after cancel: %+v", cp)
+	}
+
+	resumed, err := EnumerateE(space, am, area.BudgetRBE, pm,
+		WithCheckpoint(path, label, 5),
+		WithResume(cp))
+	if err != nil {
+		t.Fatalf("resumed enumeration: %v", err)
+	}
+	if len(resumed) != len(baseline) {
+		t.Fatalf("resumed ranking has %d allocations, baseline %d", len(resumed), len(baseline))
+	}
+	for i := range baseline {
+		if resumed[i] != baseline[i] {
+			t.Fatalf("resumed ranking diverges at %d: %v vs %v", i, resumed[i], baseline[i])
+		}
+	}
+}
+
+func TestResumeRefusesMismatchedSweep(t *testing.T) {
+	space := smallSpace()
+	am := area.Default()
+	pm := MachLike()
+	path := filepath.Join(t.TempDir(), "sweep.ockp")
+
+	// Produce a complete checkpoint for label "a".
+	if _, err := EnumerateE(space, am, area.BudgetRBE, pm, WithCheckpoint(path, "a", 0)); err != nil {
+		t.Fatalf("checkpointed sweep: %v", err)
+	}
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong label.
+	if _, err := EnumerateE(space, am, area.BudgetRBE, pm,
+		WithCheckpoint(path, "b", 0), WithResume(cp)); err == nil {
+		t.Error("resume accepted a checkpoint with a different label")
+	}
+	// Wrong space signature (different budget prices a different space).
+	if _, err := EnumerateE(space, am, area.BudgetRBE/2, pm,
+		WithCheckpoint(path, "a", 0), WithResume(cp)); err == nil {
+		t.Error("resume accepted a checkpoint for a different budget")
+	}
+}
+
+// Checkpointing alone (no interruption) must not perturb the ranking.
+func TestCheckpointingSameResults(t *testing.T) {
+	space := smallSpace()
+	am := area.Default()
+	pm := MachLike()
+	plain := Enumerate(space, am, area.BudgetRBE, pm)
+	path := filepath.Join(t.TempDir(), "sweep.ockp")
+	ckpt, err := EnumerateE(space, am, area.BudgetRBE, pm, WithCheckpoint(path, "x", 7))
+	if err != nil {
+		t.Fatalf("checkpointed sweep: %v", err)
+	}
+	if len(plain) != len(ckpt) {
+		t.Fatalf("checkpointing changed result count: %d vs %d", len(plain), len(ckpt))
+	}
+	for i := range plain {
+		if plain[i] != ckpt[i] {
+			t.Fatalf("allocation %d differs: %v vs %v", i, plain[i], ckpt[i])
+		}
+	}
+	// The final checkpoint covers the whole space.
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(space.TLBConfigs()) * len(space.CacheConfigs()); cp.PairsDone != want {
+		t.Errorf("final checkpoint PairsDone = %d, want %d", cp.PairsDone, want)
+	}
+	if len(cp.Kept) != len(plain) {
+		t.Errorf("final checkpoint kept %d, want %d", len(cp.Kept), len(plain))
+	}
+}

@@ -7,6 +7,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -141,6 +142,12 @@ type Option func(*options)
 type options struct {
 	progress      func(Progress)
 	progressEvery int
+	ctx           context.Context
+	cpPath        string
+	cpLabel       string
+	cpEvery       int
+	onCheckpoint  func(*Checkpoint)
+	resume        *Checkpoint
 }
 
 // WithProgress installs a callback that receives sweep progress roughly
@@ -153,26 +160,88 @@ func WithProgress(every int, f func(Progress)) Option {
 	}
 }
 
+// WithContext makes the enumeration cancellable: the loop polls ctx
+// between outer (TLB, I-cache) pairs and, once cancelled, stops pricing,
+// writes a final checkpoint (when WithCheckpoint is configured), and
+// returns the partial ranking together with ctx's error.
+func WithContext(ctx context.Context) Option {
+	return func(o *options) { o.ctx = ctx }
+}
+
+// WithCheckpoint persists the enumeration state to path every `every`
+// outer (TLB, I-cache) pairs (0 selects a default cadence) and once
+// more on completion or cancellation. label tags the sweep; a resume
+// requires the same label. Files are checksummed and atomically
+// renamed, so a crash mid-write cannot corrupt an existing checkpoint.
+func WithCheckpoint(path, label string, every int) Option {
+	return func(o *options) {
+		o.cpPath = path
+		o.cpLabel = label
+		o.cpEvery = every
+	}
+}
+
+// WithCheckpointObserver installs a callback invoked after each
+// successful checkpoint write (telemetry hooks install themselves
+// here).
+func WithCheckpointObserver(f func(*Checkpoint)) Option {
+	return func(o *options) { o.onCheckpoint = f }
+}
+
+// WithResume seeds the enumeration from a previously-saved checkpoint:
+// already-priced outer pairs are skipped and the kept allocations are
+// restored, so finishing the sweep yields the same ranking as an
+// uninterrupted run. EnumerateE fails if the checkpoint's label or
+// space signature does not match this sweep.
+func WithResume(cp *Checkpoint) Option {
+	return func(o *options) { o.resume = cp }
+}
+
+// pricedTLB and pricedCache carry a configuration with its
+// once-computed area and CPI contributions through the enumeration (and
+// into the checkpoint space signature).
+type pricedTLB struct {
+	cfg       area.TLBConfig
+	area, cpi float64
+}
+
+type pricedCache struct {
+	cfg  area.CacheConfig
+	area float64
+	icpi float64
+	dcpi float64
+}
+
 // Enumerate prices every combination in the space, filters to the area
 // budget, computes total CPI with the performance model, and returns the
 // allocations sorted by ascending CPI (ties by ascending area). Component
 // areas and CPIs are computed once per distinct configuration, so the
 // full Table 5 space (about a quarter-million combinations) enumerates
 // in milliseconds.
+//
+// Enumerate cannot fail without the context, checkpoint, or resume
+// options; callers using those should call EnumerateE for the error.
 func Enumerate(space Space, am area.Model, budget float64, pm PerfModel, opts ...Option) []Allocation {
+	out, _ := EnumerateE(space, am, budget, pm, opts...)
+	return out
+}
+
+// defaultCheckpointEvery is the checkpoint cadence in outer (TLB,
+// I-cache) pairs. A checkpoint serializes every kept allocation --
+// hundreds of thousands late in a Table 5 sweep -- so the cadence is
+// coarse: the full space (about two thousand pairs) persists a handful
+// of times per sweep, keeping checkpoint I/O well under the cost of the
+// enumeration it protects.
+const defaultCheckpointEvery = 512
+
+// EnumerateE is Enumerate with an error return for the fallible paths:
+// cancellation via WithContext (the partial, sorted ranking is returned
+// alongside ctx's error), checkpoint write failures, and resume
+// mismatches.
+func EnumerateE(space Space, am area.Model, budget float64, pm PerfModel, opts ...Option) ([]Allocation, error) {
 	var o options
 	for _, opt := range opts {
 		opt(&o)
-	}
-	type pricedTLB struct {
-		cfg       area.TLBConfig
-		area, cpi float64
-	}
-	type pricedCache struct {
-		cfg  area.CacheConfig
-		area float64
-		icpi float64
-		dcpi float64
 	}
 	var tlbs []pricedTLB
 	for _, t := range space.TLBConfigs() {
@@ -207,8 +276,86 @@ func Enumerate(space Space, am area.Model, budget float64, pm PerfModel, opts ..
 		o.progress(p)
 	}
 
+	// Checkpoint/resume state. The space signature ties a checkpoint to
+	// the exact priced lists and budget, so a resume against different
+	// inputs is refused rather than silently producing a wrong ranking.
+	var sig string
+	if o.cpPath != "" || o.resume != nil {
+		sig = spaceSignature(tlbs, caches, budget)
+	}
+	pairsDone := 0
+	if cp := o.resume; cp != nil {
+		if cp.Label != o.cpLabel {
+			return nil, fmt.Errorf("search: checkpoint label %q does not match this sweep (%q)", cp.Label, o.cpLabel)
+		}
+		if cp.SpaceSig != sig {
+			return nil, fmt.Errorf("search: checkpoint space signature %s does not match this sweep (%s): different space, budget, or model", cp.SpaceSig, sig)
+		}
+		if max := len(tlbs) * len(caches); cp.PairsDone > max {
+			return nil, fmt.Errorf("search: checkpoint claims %d pairs done, space has only %d", cp.PairsDone, max)
+		}
+		pairsDone = cp.PairsDone
+		priced = cp.Priced
+		out = append(out, cp.Kept...)
+	}
+	cpEvery := o.cpEvery
+	if cpEvery <= 0 {
+		cpEvery = defaultCheckpointEvery
+	}
+	saveCheckpoint := func(pairs int) error {
+		if o.cpPath == "" {
+			return nil
+		}
+		cp := &Checkpoint{
+			Version:   checkpointVersion,
+			Label:     o.cpLabel,
+			SpaceSig:  sig,
+			PairsDone: pairs,
+			Priced:    priced,
+			Kept:      out,
+		}
+		if err := cp.Save(o.cpPath); err != nil {
+			return err
+		}
+		if o.onCheckpoint != nil {
+			o.onCheckpoint(cp)
+		}
+		return nil
+	}
+
+	var done <-chan struct{}
+	if o.ctx != nil {
+		done = o.ctx.Done()
+	}
+	sortOut := func() {
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].CPI != out[j].CPI {
+				return out[i].CPI < out[j].CPI
+			}
+			return out[i].AreaRBE < out[j].AreaRBE
+		})
+	}
+
+	pair := 0
 	for _, t := range tlbs {
 		for _, ic := range caches {
+			if pair++; pair <= pairsDone {
+				// Resumed: this pair's results are already in out.
+				continue
+			}
+			if done != nil {
+				select {
+				case <-done:
+					// Cancelled: persist everything priced so far, then
+					// hand back the partial ranking with the cause.
+					if err := saveCheckpoint(pair - 1); err != nil {
+						return nil, err
+					}
+					sortOut()
+					return out, o.ctx.Err()
+				default:
+				}
+			}
 			at := t.area + ic.area
 			if at > budget {
 				priced += len(caches)
@@ -231,16 +378,19 @@ func Enumerate(space Space, am area.Model, budget float64, pm PerfModel, opts ..
 				report(false)
 				nextReport = priced + every
 			}
+			if o.cpPath != "" && (pair-pairsDone)%cpEvery == 0 {
+				if err := saveCheckpoint(pair); err != nil {
+					return nil, err
+				}
+			}
 		}
 	}
 	report(true)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].CPI != out[j].CPI {
-			return out[i].CPI < out[j].CPI
-		}
-		return out[i].AreaRBE < out[j].AreaRBE
-	})
-	return out
+	if err := saveCheckpoint(pair); err != nil {
+		return nil, err
+	}
+	sortOut()
+	return out, nil
 }
 
 // EnumerateFiltered is Enumerate with an extra feasibility predicate --

@@ -111,13 +111,29 @@ type Managed struct {
 	onMiss  []func(MissEvent)
 }
 
-// NewManaged builds a managed TLB over configuration cfg.
+// NewManaged builds a managed TLB over configuration cfg; it panics on
+// an invalid configuration. Callers holding untrusted configurations
+// should use NewManagedE instead.
 func NewManaged(cfg Config, costs CostModel) *Managed {
+	m, err := NewManagedE(cfg, costs)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NewManagedE builds a managed TLB over configuration cfg, returning an
+// error on an invalid configuration instead of panicking.
+func NewManagedE(cfg Config, costs CostModel) (*Managed, error) {
+	t, err := NewE(cfg)
+	if err != nil {
+		return nil, err
+	}
 	return &Managed{
-		tlb:     New(cfg),
+		tlb:     t,
 		costs:   costs,
 		touched: make(map[vm.TransKey]struct{}),
-	}
+	}, nil
 }
 
 // TLB exposes the underlying simulator (Tapeworm needs Invalidate and

@@ -88,9 +88,20 @@ type TLB struct {
 }
 
 // New builds a TLB simulator; it panics on invalid configurations.
+// Callers holding untrusted configurations should use NewE instead.
 func New(cfg Config) *TLB {
-	if err := cfg.Validate(); err != nil {
+	t, err := NewE(cfg)
+	if err != nil {
 		panic(err)
+	}
+	return t
+}
+
+// NewE builds a TLB simulator, returning an error on an invalid
+// configuration instead of panicking.
+func NewE(cfg Config) (*TLB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("tlb: invalid config %v: %w", cfg.TLBConfig, err)
 	}
 	assoc := cfg.Assoc
 	if assoc == area.FullyAssociative {
@@ -101,7 +112,7 @@ func New(cfg Config) *TLB {
 	for i := range sets {
 		sets[i] = make([]entry, 0, assoc)
 	}
-	return &TLB{cfg: cfg, sets: sets, index: make(map[vm.TransKey]int, cfg.Entries)}
+	return &TLB{cfg: cfg, sets: sets, index: make(map[vm.TransKey]int, cfg.Entries)}, nil
 }
 
 // Config returns the simulated configuration.

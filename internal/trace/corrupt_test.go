@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// corruptible builds a valid trace of n records and returns its bytes.
+func corruptible(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		w.Ref(Ref{Addr: uint32(0x1000 + 4*i), ASID: uint8(i), Kind: Kind(i % 3), Mode: Mode(i % 2)})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCorruptRecordStrict(t *testing.T) {
+	data := corruptible(t, 3)
+	data[headerSize+recordSize+5] = 0xee // record 1's kind byte
+
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err != nil {
+		t.Fatalf("record 0 should be fine: %v", err)
+	}
+	_, err = r.Read()
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("corrupt record returned %v, want *CorruptError", err)
+	}
+	if ce.Record != 1 || ce.Offset != headerSize+recordSize {
+		t.Errorf("CorruptError = record %d offset %d, want record 1 offset %d",
+			ce.Record, ce.Offset, headerSize+recordSize)
+	}
+	if !strings.Contains(ce.Reason, "invalid kind") {
+		t.Errorf("Reason = %q", ce.Reason)
+	}
+	if !errors.Is(err, ErrBadFormat) {
+		t.Error("CorruptError should unwrap to ErrBadFormat")
+	}
+}
+
+func TestCorruptRecordSkipped(t *testing.T) {
+	data := corruptible(t, 4)
+	data[headerSize+recordSize+5] = 0xee // record 1: bad kind
+	data[headerSize+2*recordSize+6] = 9  // record 2: bad mode
+
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SkipCorrupt = true
+	var observed []string
+	r.OnCorrupt = func(e *CorruptError) { observed = append(observed, e.Reason) }
+
+	var c Counter
+	n, err := r.Drain(&c)
+	if err != nil {
+		t.Fatalf("Drain in skip mode: %v", err)
+	}
+	if n != 2 {
+		t.Errorf("delivered %d records, want the 2 intact ones", n)
+	}
+	if r.Corrupt() != 2 {
+		t.Errorf("Corrupt() = %d, want 2", r.Corrupt())
+	}
+	if len(observed) != 2 ||
+		!strings.Contains(observed[0], "invalid kind") ||
+		!strings.Contains(observed[1], "invalid mode") {
+		t.Errorf("OnCorrupt observed %v", observed)
+	}
+}
+
+func TestTruncatedTail(t *testing.T) {
+	data := corruptible(t, 3)
+	data = data[:len(data)-3] // tear the last record
+
+	// Strict: the tear is an error.
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Counter
+	_, err = r.Drain(&c)
+	var ce *CorruptError
+	if !errors.As(err, &ce) || !strings.Contains(ce.Reason, "truncated") {
+		t.Errorf("torn tail returned %v, want a truncated-record CorruptError", err)
+	}
+
+	// Skip mode: the intact prefix is delivered and the tear counted.
+	r, err = NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SkipCorrupt = true
+	n, err := r.Drain(&Counter{})
+	if err != nil || n != 2 {
+		t.Errorf("skip mode: %d records, %v; want 2, nil", n, err)
+	}
+	if r.Corrupt() != 1 {
+		t.Errorf("Corrupt() = %d, want 1", r.Corrupt())
+	}
+}
+
+func TestDrainContextCancellation(t *testing.T) {
+	// Enough records to cross the drain's cancellation-poll boundary.
+	data := corruptible(t, drainCheckEvery+100)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n, err := r.DrainContext(ctx, &Counter{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled drain returned %v, want context.Canceled", err)
+	}
+	if n != drainCheckEvery {
+		t.Errorf("cancelled drain delivered %d records, want to stop at the %d-record poll", n, drainCheckEvery)
+	}
+}
+
+// FuzzTrace drives the skip-corrupt drain path with arbitrary bytes: it
+// must never panic, never loop forever, and the records delivered plus
+// corruptions counted must stay consistent with the input size.
+func FuzzTrace(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 8; i++ {
+		w.Ref(Ref{Addr: uint32(i), ASID: uint8(i), Kind: Kind(i % 3), Mode: Mode(i % 2)})
+	}
+	_ = w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid, true)
+	f.Add(valid, false)
+	f.Add(valid[:len(valid)-5], true)
+	torn := append([]byte(nil), valid...)
+	torn[headerSize+5] = 0x7f
+	f.Add(torn, true)
+	f.Add([]byte("OCTR\x01\x00\x00\x00"), false)
+
+	f.Fuzz(func(t *testing.T, data []byte, skip bool) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		r.SkipCorrupt = skip
+		var c Counter
+		n, err := r.Drain(&c)
+		if skip && err != nil {
+			var ce *CorruptError
+			if errors.As(err, &ce) {
+				t.Fatalf("skip mode still surfaced a CorruptError: %v", err)
+			}
+		}
+		if payload := len(data) - headerSize; payload >= 0 {
+			if max := uint64(payload / recordSize); n+r.Corrupt() > max+1 {
+				t.Fatalf("delivered %d + corrupt %d exceeds the %d records the input can hold",
+					n, r.Corrupt(), max)
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -27,6 +28,27 @@ const (
 // ErrBadFormat is returned when a trace file header or record is
 // malformed.
 var ErrBadFormat = errors.New("trace: bad file format")
+
+// CorruptError reports a malformed record in an otherwise readable
+// trace stream: a truncated tail or a record with garbage field values.
+// It unwraps to ErrBadFormat, so existing errors.Is checks keep working,
+// and carries enough structure for callers to log, skip, or abort.
+type CorruptError struct {
+	// Offset is the byte offset of the corrupt record in the stream.
+	Offset int64
+	// Record is the index of the corrupt record (0-based).
+	Record uint64
+	// Reason describes the corruption ("truncated record",
+	// "invalid kind 7", ...).
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("trace: corrupt record %d at offset %d: %s", e.Record, e.Offset, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrBadFormat) hold for corrupt records.
+func (e *CorruptError) Unwrap() error { return ErrBadFormat }
 
 // Writer streams references to an io.Writer in the binary trace format.
 type Writer struct {
@@ -81,6 +103,16 @@ func (w *Writer) Flush() error {
 type Reader struct {
 	r    *bufio.Reader
 	read uint64
+	// SkipCorrupt makes Read step over corrupt records instead of
+	// returning a *CorruptError: a record with garbage field values is
+	// skipped (the format is fixed-width, so the stream stays aligned)
+	// and a truncated tail ends the stream as a clean EOF. Every
+	// corruption is counted and reported to OnCorrupt.
+	SkipCorrupt bool
+	// OnCorrupt, when non-nil, observes each corrupt record encountered
+	// (in both modes), e.g. to feed a telemetry counter.
+	OnCorrupt func(*CorruptError)
+	corrupt   uint64
 }
 
 // NewReader validates the header and returns a Reader.
@@ -99,37 +131,86 @@ func NewReader(r io.Reader) (*Reader, error) {
 	return &Reader{r: br}, nil
 }
 
-// Read returns the next reference, or io.EOF at end of stream.
+// Corrupt returns the number of corrupt records encountered so far.
+func (r *Reader) Corrupt() uint64 { return r.corrupt }
+
+// note records one corruption and reports it to OnCorrupt.
+func (r *Reader) note(reason string) *CorruptError {
+	e := &CorruptError{
+		Offset: int64(headerSize + r.read*recordSize),
+		Record: r.read,
+		Reason: reason,
+	}
+	r.corrupt++
+	if r.OnCorrupt != nil {
+		r.OnCorrupt(e)
+	}
+	return e
+}
+
+// Read returns the next reference, or io.EOF at end of stream. A
+// malformed record yields a *CorruptError (unwrapping to ErrBadFormat)
+// unless SkipCorrupt is set, in which case it is counted and skipped.
 func (r *Reader) Read() (Ref, error) {
-	var rec [recordSize]byte
-	if _, err := io.ReadFull(r.r, rec[:]); err != nil {
-		if err == io.EOF {
-			return Ref{}, io.EOF
+	for {
+		var rec [recordSize]byte
+		if _, err := io.ReadFull(r.r, rec[:]); err != nil {
+			if err == io.EOF {
+				return Ref{}, io.EOF
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				e := r.note("truncated record")
+				if r.SkipCorrupt {
+					// A partial tail cannot be resynchronized; end the
+					// stream cleanly after counting it.
+					return Ref{}, io.EOF
+				}
+				return Ref{}, e
+			}
+			return Ref{}, fmt.Errorf("trace: reading record: %w", err)
 		}
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return Ref{}, fmt.Errorf("%w: truncated record after %d records", ErrBadFormat, r.read)
+		if k := Kind(rec[5]); k > Store {
+			e := r.note(fmt.Sprintf("invalid kind %d", rec[5]))
+			r.read++
+			if r.SkipCorrupt {
+				continue
+			}
+			return Ref{}, e
 		}
-		return Ref{}, fmt.Errorf("trace: reading record: %w", err)
+		if m := Mode(rec[6]); m > Kernel {
+			e := r.note(fmt.Sprintf("invalid mode %d", rec[6]))
+			r.read++
+			if r.SkipCorrupt {
+				continue
+			}
+			return Ref{}, e
+		}
+		r.read++
+		return Ref{
+			Addr: binary.LittleEndian.Uint32(rec[0:4]),
+			ASID: rec[4],
+			Kind: Kind(rec[5]),
+			Mode: Mode(rec[6]),
+		}, nil
 	}
-	r.read++
-	if k := Kind(rec[5]); k > Store {
-		return Ref{}, fmt.Errorf("%w: invalid kind %d in record %d", ErrBadFormat, rec[5], r.read)
-	}
-	if m := Mode(rec[6]); m > Kernel {
-		return Ref{}, fmt.Errorf("%w: invalid mode %d in record %d", ErrBadFormat, rec[6], r.read)
-	}
-	return Ref{
-		Addr: binary.LittleEndian.Uint32(rec[0:4]),
-		ASID: rec[4],
-		Kind: Kind(rec[5]),
-		Mode: Mode(rec[6]),
-	}, nil
 }
 
 // Drain feeds every remaining reference to sink and returns the number
 // delivered.
 func (r *Reader) Drain(sink Sink) (uint64, error) {
+	return r.DrainContext(context.Background(), sink)
+}
+
+// drainCheckEvery is how often DrainContext polls the context, in
+// records; a power of two keeps the check to a mask and compare.
+const drainCheckEvery = 1 << 16
+
+// DrainContext feeds every remaining reference to sink until end of
+// stream, an error, or ctx is cancelled (checked every 64K records; a
+// cancelled drain returns the count delivered so far and ctx's error).
+func (r *Reader) DrainContext(ctx context.Context, sink Sink) (uint64, error) {
 	var n uint64
+	done := ctx.Done()
 	for {
 		ref, err := r.Read()
 		if err == io.EOF {
@@ -140,5 +221,12 @@ func (r *Reader) Drain(sink Sink) (uint64, error) {
 		}
 		sink.Ref(ref)
 		n++
+		if done != nil && n%drainCheckEvery == 0 {
+			select {
+			case <-done:
+				return n, ctx.Err()
+			default:
+			}
+		}
 	}
 }

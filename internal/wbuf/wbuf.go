@@ -5,7 +5,11 @@
 // paper's Monster measurements attribute (Tables 3 and 4).
 package wbuf
 
-import "onchip/internal/telemetry"
+import (
+	"fmt"
+
+	"onchip/internal/telemetry"
+)
 
 // Config describes a write buffer.
 type Config struct {
@@ -37,11 +41,23 @@ type Buffer struct {
 }
 
 // New returns a Buffer for cfg; it panics on non-positive parameters.
+// Callers holding untrusted configurations should use NewE instead.
 func New(cfg Config) *Buffer {
-	if cfg.Entries <= 0 || cfg.WriteCycles <= 0 {
-		panic("wbuf: entries and write cycles must be positive")
+	b, err := NewE(cfg)
+	if err != nil {
+		panic(err)
 	}
-	return &Buffer{cfg: cfg, retire: make([]uint64, 0, cfg.Entries)}
+	return b
+}
+
+// NewE returns a Buffer for cfg, returning an error on non-positive
+// parameters instead of panicking.
+func NewE(cfg Config) (*Buffer, error) {
+	if cfg.Entries <= 0 || cfg.WriteCycles <= 0 {
+		return nil, fmt.Errorf("wbuf: entries (%d) and write cycles (%d) must be positive",
+			cfg.Entries, cfg.WriteCycles)
+	}
+	return &Buffer{cfg: cfg, retire: make([]uint64, 0, cfg.Entries)}, nil
 }
 
 // Write enqueues one store issued at cycle now and returns the number of
