@@ -1,10 +1,11 @@
 # Build and verification entry points. `make check` is the full gate:
-# vet, build, race-enabled tests, and a one-iteration pass over every
-# benchmark so the instrumented hot paths stay compiling and runnable.
+# vet, build, race-enabled tests, the cross-validation suite, and a
+# one-iteration pass over every benchmark so the instrumented hot paths
+# stay compiling and runnable.
 
 GO ?= go
 
-.PHONY: all build test vet bench race fuzz check clean
+.PHONY: all build test vet bench race fuzz crossval check clean
 
 all: build
 
@@ -20,13 +21,26 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs every benchmark once for compile/run coverage, then the
+# full-scale sweep comparison (legacy three-pass arrangement vs the
+# fused engine at the default 1M refs), recording the measured speedup
+# in BENCH_sweep.json.
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	BENCH_SWEEP_JSON=$(CURDIR)/BENCH_sweep.json $(GO) test -run TestSweepBenchArtifact -count=1 -v ./internal/experiments/
 
 fuzz:
 	$(GO) test -fuzz=FuzzTrace -fuzztime=20s -run=FuzzTrace ./internal/trace/
 
-check: vet build race bench
+# crossval pins the single-pass stack simulators and the fused sweep
+# engine to their direct-simulation oracles, under the race detector:
+# any divergence between the optimized paths and brute force fails here.
+crossval:
+	$(GO) test -race -count=1 \
+		-run 'CrossValidat|AgreesWithDirect|MatchesLegacy|MatchesSerial|TestTee|TestBatched|TestRefMeter' \
+		./internal/cheetah/ ./internal/experiments/ ./internal/trace/
+
+check: vet build race crossval bench
 
 clean:
 	$(GO) clean ./...

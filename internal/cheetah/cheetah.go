@@ -27,6 +27,12 @@ type AllAssoc struct {
 	// hits[d] counts accesses that hit at stack depth d+1.
 	hits     []uint64
 	accesses uint64
+	// last is the block of the previous access (always at the front of
+	// its set's stack afterwards), memoized because reference streams
+	// run through cache lines sequentially: a repeat is a depth-1 hit
+	// that provably leaves the stack unchanged, so the scan and the
+	// promote can be skipped. Initialized to an impossible block.
+	last uint64
 }
 
 // NewAllAssoc builds a simulator for the given set count (a power of
@@ -52,6 +58,7 @@ func NewAllAssoc(sets, lineWords, maxAssoc int) *AllAssoc {
 		setMask:    uint64(sets - 1),
 		stacks:     stacks,
 		hits:       make([]uint64, maxAssoc),
+		last:       ^uint64(0),
 	}
 }
 
@@ -59,6 +66,11 @@ func NewAllAssoc(sets, lineWords, maxAssoc int) *AllAssoc {
 func (a *AllAssoc) Access(key uint64) {
 	a.accesses++
 	block := key >> a.offsetBits
+	if block == a.last {
+		a.hits[0]++
+		return
+	}
+	a.last = block
 	set := int(block & a.setMask)
 	stack := a.stacks[set]
 	for i, b := range stack {
@@ -76,6 +88,14 @@ func (a *AllAssoc) Access(key uint64) {
 	copy(stack[1:], stack[:len(stack)-1])
 	stack[0] = block
 	a.stacks[set] = stack
+}
+
+// AccessKeys processes a batch of references; the devirtualized inner
+// loop is the sweep engine's hot path.
+func (a *AllAssoc) AccessKeys(keys []uint64) {
+	for _, key := range keys {
+		a.Access(key)
+	}
 }
 
 // Accesses returns the number of references processed.

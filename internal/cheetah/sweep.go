@@ -12,7 +12,8 @@ import (
 // pair share one AllAssoc simulator, so a Table 5-style design space of
 // 120 configurations typically needs ~40 simulators instead of 120.
 type Sweep struct {
-	sims     map[[2]int]*AllAssoc // key: {sets, lineWords}
+	sims     map[[2]int]*AllAssoc // key: {sets, lineWords}; lookup only
+	simList  []*AllAssoc          // dense iteration order for the hot path
 	accesses uint64
 }
 
@@ -35,17 +36,33 @@ func NewSweep(configs []area.CacheConfig, maxAssoc int) *Sweep {
 		}
 		key := [2]int{c.Sets(), c.LineWords}
 		if _, ok := s.sims[key]; !ok {
-			s.sims[key] = NewAllAssoc(c.Sets(), c.LineWords, maxAssoc)
+			sim := NewAllAssoc(c.Sets(), c.LineWords, maxAssoc)
+			s.sims[key] = sim
+			s.simList = append(s.simList, sim)
 		}
 	}
 	return s
 }
 
-// Access processes one reference for every simulator.
+// Access processes one reference for every simulator. Iteration runs
+// over a pre-built slice: ranging the map here would cost per
+// reference and visit simulators in random order.
 func (s *Sweep) Access(key uint64) {
 	s.accesses++
-	for _, sim := range s.sims {
+	for _, sim := range s.simList {
 		sim.Access(key)
+	}
+}
+
+// AccessKeys processes a batch of references for every simulator, one
+// simulator at a time so each inner loop stays tight over the shared
+// batch.
+func (s *Sweep) AccessKeys(keys []uint64) {
+	s.accesses += uint64(len(keys))
+	for _, sim := range s.simList {
+		for _, key := range keys {
+			sim.Access(key)
+		}
 	}
 }
 
@@ -69,4 +86,10 @@ func (s *Sweep) Misses(c area.CacheConfig) uint64 {
 
 // Simulators reports how many distinct stack simulators the sweep runs
 // (the pass-sharing the package exists for).
-func (s *Sweep) Simulators() int { return len(s.sims) }
+func (s *Sweep) Simulators() int { return len(s.simList) }
+
+// Groups hands out the underlying simulators for callers that
+// parallelize across them (each simulator is independent and
+// deterministic, so concurrent groups give bit-identical results as
+// long as every group sees the full stream in order).
+func (s *Sweep) Groups() []*AllAssoc { return s.simList }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"onchip/internal/area"
 	"onchip/internal/cache"
@@ -28,10 +29,14 @@ func init() {
 
 // buildMeasuredModel sweeps the Table 5 design space under Mach with the
 // simulators and assembles the measured performance model the search
-// ranks with: Cheetah-style single-pass sweeps for the I-stream, direct
-// simulation for the D-stream, Tapeworm for the TLBs, and a
-// DECstation-style run for the configuration-independent base CPI
-// (1.0 plus write-buffer and other stalls).
+// ranks with: single-pass stack-simulation sweeps for both cache
+// streams (Cheetah-style for the I-stream, the write-policy-aware
+// generalization for the D-stream) and Tapeworm for the TLBs, all fed
+// by ONE generation of each workload's reference stream through a
+// fused sweep engine (see sweepengine.go) instead of the original
+// generate-three-times, simulate-each-config-directly arrangement. The
+// miss counts -- and therefore the tables -- are bit-identical to the
+// multi-pass form; only the work to produce them shrank.
 func buildMeasuredModel(space search.Space, refsEach int, opt Options) (*search.Measured, []string, error) {
 	cacheCfgs := space.CacheConfigs()
 	tlbCfgs := space.TLBConfigs()
@@ -60,14 +65,31 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) (*search.
 	wlFailed := opt.Metrics.Counter("sweep.workloads_failed", "workload sweeps abandoned after panics")
 	wlRetried := opt.Metrics.Counter("sweep.workloads_retried", "workload sweep retries after a panic")
 	sweepInstrs := opt.Metrics.Counter("sweep.instructions", "instructions simulated by the I-stream sweeps")
-	refsStreamed := opt.Metrics.Counter("sweep.references", "references generated for the cache sweeps so far")
+	refsStreamed := opt.Metrics.Counter("sweep.references", "references generated for the model-building sweeps so far")
+	stageModel := opt.Metrics.Gauge("sweep.stage_seconds.model",
+		"wall-clock seconds generating references and running the fused cache sweeps, summed across workloads")
+	stageTapeworm := tapewormStageGauge(opt)
 
 	ctx := opt.ctx()
+	workers := sweepWorkers(len(specs))
 
-	// sweepWorkload runs one workload's three sweep stages, reporting
-	// any panic (injected or real) as an error so one bad run degrades
-	// to a footnote instead of killing the whole sweep.
-	sweepWorkload := func(spec osmodel.WorkloadSpec) (isweep *icacheSweep, dsweep *dcacheSweep, results []tapeworm.Result, err error) {
+	// sweepWorkload runs one workload's sweep, reporting any panic
+	// (injected or real) as an error so one bad run degrades to a
+	// footnote instead of killing the whole sweep.
+	//
+	// One generation feeds every simulator. The standalone sweeps each
+	// consumed a window of the same deterministic stream (the system's
+	// RNG never sees the sinks): the cache sweeps saw [0, E) where E is
+	// the first iteration boundary at or past refsEach, and tapeworm
+	// warmed up on [0, E1) (E1 the first boundary at or past refsEach/3)
+	// then measured [E1, E2) (E2 the first boundary at or past
+	// E1+refsEach). Since Generate always stops at the first boundary at
+	// or past its cumulative target, three phased calls reproduce all
+	// three windows from a single stream: phase 1 runs to E1 with both
+	// sinks attached, the TLB service counters reset there, phase 2 runs
+	// to E with both sinks, and phase 3 runs the tapeworm-only tail to
+	// E2. Every simulator sees byte-for-byte the stream it saw before.
+	sweepWorkload := func(spec osmodel.WorkloadSpec) (engine *sweepEngine, results []tapeworm.Result, modelSec, tailSec float64, err error) {
 		defer func() {
 			if v := recover(); v != nil {
 				if site, ok := faultinject.IsInjectedPanic(v); ok {
@@ -79,23 +101,47 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) (*search.
 		}()
 		opt.FaultInjector.MaybePanic("sweep/" + spec.Name)
 
-		// I-stream: single-pass all-associativity sweeps.
-		isweep = newICacheSweep(cacheCfgs, 8)
-		osmodel.NewSystem(osmodel.Mach, spec).Generate(refsEach, meterRefs(isweep, refsStreamed))
-		if ctx.Err() != nil {
-			return nil, nil, nil, ctx.Err()
-		}
+		engine = newSweepEngine(cacheCfgs, 8, workers)
+		defer engine.close()
+		hw := tlb.NewManaged(tlb.R2000(), tlb.DefaultCosts())
+		tw := tapeworm.Attach(hw, tlbConfigs...)
+		tsink := &tlbOnly{hw: hw}
+		sys := osmodel.NewSystem(osmodel.Mach, spec)
+		both := meterRefs(trace.Tee{engine, tsink}, refsStreamed)
 
-		// D-stream: direct simulation.
-		dsweep = newDCacheSweep(cacheCfgs)
-		osmodel.NewSystem(osmodel.Mach, spec).Generate(refsEach, meterRefs(dsweep, refsStreamed))
+		start := time.Now()
+		// Phase 1: to the tapeworm warm-up boundary E1.
+		e1 := sys.Generate(refsEach/3, both)
 		if ctx.Err() != nil {
-			return nil, nil, nil, ctx.Err()
+			return nil, nil, 0, 0, ctx.Err()
 		}
+		hw.ResetService()
+		tw.ResetServices()
+		tsink.instrs = 0
+		// Phase 2: to the cache sweeps' boundary E (e1 can already be
+		// past it when iterations are long; Generate must only be asked
+		// for a positive count).
+		total := e1
+		if refsEach > total {
+			total += sys.Generate(refsEach-total, both)
+		}
+		if ctx.Err() != nil {
+			return nil, nil, 0, 0, ctx.Err()
+		}
+		flushMeter(both)
+		modelSec = time.Since(start).Seconds()
+		stageModel.Add(modelSec)
 
-		// TLBs: kernel-based (Tapeworm) simulation.
-		results, _ = runTapeworm(osmodel.Mach, spec, refsEach, tlbConfigs)
-		return isweep, dsweep, results, nil
+		// Phase 3: tapeworm-only tail to its measurement boundary E2.
+		start = time.Now()
+		tail := meterRefs(trace.Sink(tsink), refsStreamed)
+		if n := e1 + refsEach - total; n > 0 {
+			sys.Generate(n, tail)
+		}
+		flushMeter(tail)
+		tailSec = time.Since(start).Seconds()
+		stageTapeworm.Add(tailSec)
+		return engine, tw.Results(), modelSec, tailSec, nil
 	}
 
 	// The per-workload sweeps are independent; run them concurrently
@@ -108,15 +154,15 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) (*search.
 		wg.Add(1)
 		go func(spec osmodel.WorkloadSpec) {
 			defer wg.Done()
-			var isweep *icacheSweep
-			var dsweep *dcacheSweep
+			var engine *sweepEngine
 			var results []tapeworm.Result
+			var modelSec, tailSec float64
 			var err error
 			for attempt := 0; ; attempt++ {
 				if ctx.Err() != nil {
 					return
 				}
-				isweep, dsweep, results, err = sweepWorkload(spec)
+				engine, results, modelSec, tailSec, err = sweepWorkload(spec)
 				if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 					break
 				}
@@ -139,20 +185,19 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) (*search.
 				return
 			}
 			for _, c := range cacheCfgs {
-				iMiss[c] += isweep.misses(c)
+				iMiss[c] += engine.iMisses(c)
+				dMiss[c] += engine.dReadMisses(c)
 			}
-			instrs += isweep.instrs
-			for i, c := range cacheCfgs {
-				dMiss[c] += dsweep.caches[i].Stats().ReadMisses
-			}
+			instrs += engine.instrs
 			for i, c := range tlbCfgs {
 				s := results[i].Service
 				tlbCycles[c] += s.Cycles[tlb.UserMiss] + s.Cycles[tlb.KernelMiss]
 			}
 			workloadsDone++
-			opt.progressf("sweep: %s done (%d/%d workloads)", spec.Name, workloadsDone, len(specs))
+			opt.progressf("sweep: %s done (%d/%d workloads) [model %.2fs, tapeworm tail %.2fs]",
+				spec.Name, workloadsDone, len(specs), modelSec, tailSec)
 			wlDone.Inc()
-			sweepInstrs.Add(isweep.instrs)
+			sweepInstrs.Add(engine.instrs)
 		}(spec)
 	}
 	wg.Wait()
@@ -182,29 +227,62 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) (*search.
 }
 
 // meterRefs threads a sweep sink through a batched reference counter:
-// one atomic add per 64K references lands in the shared counter, so a
-// live /metrics scrape watches the sweep advance at negligible hot-path
-// cost. With metrics off (nil counter) the sink passes through
-// untouched.
+// roughly one atomic add per 64K references lands in the shared
+// counter, so a live /metrics scrape watches the sweep advance at
+// negligible hot-path cost. Callers flush (flushMeter) when the stream
+// ends so the final partial batch is published too. With metrics off
+// (nil counter) the sink passes through untouched.
 func meterRefs(next trace.Sink, c *telemetry.Counter) trace.Sink {
 	if c == nil {
 		return next
 	}
-	return &refMeter{next: next, c: c}
+	return &refMeter{next: next, batch: trace.Batched(next), c: c}
 }
 
 type refMeter struct {
-	next trace.Sink
-	c    *telemetry.Counter
-	n    uint64
+	next  trace.Sink
+	batch trace.BatchSink
+	c     *telemetry.Counter
+	n     uint64 // references seen but not yet published
 }
 
 const refMeterBatch = 1 << 16
 
+// Ref implements trace.Sink.
 func (m *refMeter) Ref(r trace.Ref) {
 	m.next.Ref(r)
-	if m.n++; m.n%refMeterBatch == 0 {
-		m.c.Add(refMeterBatch)
+	m.bump(1)
+}
+
+// Refs implements trace.BatchSink, preserving the generator's batching
+// through the meter.
+func (m *refMeter) Refs(refs []trace.Ref) {
+	m.batch.Refs(refs)
+	m.bump(uint64(len(refs)))
+}
+
+func (m *refMeter) bump(n uint64) {
+	if m.n += n; m.n >= refMeterBatch {
+		m.c.Add(m.n)
+		m.n = 0
+	}
+}
+
+// Flush publishes the pending partial batch. Without it the counter
+// permanently undercounted by up to refMeterBatch-1 references per
+// stream (the batching always held back the tail).
+func (m *refMeter) Flush() {
+	if m.n > 0 {
+		m.c.Add(m.n)
+		m.n = 0
+	}
+}
+
+// flushMeter flushes s when it is a metered sink (with metrics off,
+// meterRefs hands the sink back unwrapped and there is nothing to do).
+func flushMeter(s trace.Sink) {
+	if m, ok := s.(*refMeter); ok {
+		m.Flush()
 	}
 }
 
@@ -251,7 +329,10 @@ func runAllocation(opt Options, space search.Space, id, title string, extraNotes
 		opt.Metrics.Counter("search.resumed_pairs", "outer pairs skipped via checkpoint resume").
 			Add(uint64(cp.PairsDone))
 	}
+	searchStart := time.Now()
 	allocs, err := search.EnumerateE(space, area.Default(), area.BudgetRBE, model, searchOpts...)
+	opt.Metrics.Gauge("sweep.stage_seconds.search",
+		"wall-clock seconds enumerating and pricing allocations").Add(time.Since(searchStart).Seconds())
 	if err != nil {
 		return Result{}, fmt.Errorf("enumeration: %w", err)
 	}

@@ -28,6 +28,7 @@ const defaultSweepRefs = 1_000_000
 type icacheSweep struct {
 	sweep  *cheetah.Sweep
 	instrs uint64
+	keys   []uint64 // per-batch key buffer, reused
 }
 
 func newICacheSweep(configs []area.CacheConfig, maxAssoc int) *icacheSweep {
@@ -43,25 +44,40 @@ func (s *icacheSweep) Ref(r trace.Ref) {
 	s.sweep.Access(vm.CacheKey(r.Addr, r.ASID))
 }
 
+// Refs implements trace.BatchSink: the cache keys are computed once
+// into a shared buffer, then each simulator group runs a tight loop
+// over it.
+func (s *icacheSweep) Refs(refs []trace.Ref) {
+	s.keys = s.keys[:0]
+	for _, r := range refs {
+		if r.Kind == trace.IFetch {
+			s.keys = append(s.keys, vm.CacheKey(r.Addr, r.ASID))
+		}
+	}
+	s.instrs += uint64(len(s.keys))
+	s.sweep.AccessKeys(s.keys)
+}
+
 // misses returns the exact miss count for one configuration.
 func (s *icacheSweep) misses(c area.CacheConfig) uint64 {
 	return s.sweep.Misses(c)
 }
 
-// dcacheSweep measures data-stream behaviour with direct simulation (the
-// no-write-allocate store policy breaks the stack inclusion property, so
-// Cheetah cannot be used for the D-stream).
+// dcacheSweep measures data-stream behaviour with the write-policy-aware
+// single-pass stack simulator (cheetah.DataSweep): the no-write-allocate
+// store policy is carried down the stack Thompson-Smith style, so one
+// simulator per (set count, line size) pair replaces the direct
+// simulation of every configuration that this sweep originally ran.
+// Direct simulation survives in the tests as the cross-validation
+// oracle (the two agree bit-for-bit).
 type dcacheSweep struct {
-	caches []*cache.Cache
+	sweep  *cheetah.DataSweep
 	instrs uint64
+	keys   []uint64 // per-batch packed-reference buffer, reused
 }
 
 func newDCacheSweep(configs []area.CacheConfig) *dcacheSweep {
-	s := &dcacheSweep{}
-	for _, c := range configs {
-		s.caches = append(s.caches, cache.New(cache.Config{CacheConfig: c}))
-	}
-	return s
+	return &dcacheSweep{sweep: cheetah.NewDataSweep(configs)}
 }
 
 // Ref implements trace.Sink.
@@ -73,13 +89,30 @@ func (s *dcacheSweep) Ref(r trace.Ref) {
 		if vm.SegmentOf(r.Addr) == vm.Kseg1 {
 			return // uncached
 		}
-		key := vm.CacheKey(r.Addr, r.ASID)
-		write := r.Kind == trace.Store
-		for _, c := range s.caches {
-			c.Access(key, write)
-		}
+		s.sweep.Access(vm.CacheKey(r.Addr, r.ASID), r.Kind == trace.Store)
 	}
 }
+
+// Refs implements trace.BatchSink.
+func (s *dcacheSweep) Refs(refs []trace.Ref) {
+	s.keys = s.keys[:0]
+	for _, r := range refs {
+		if r.Kind == trace.IFetch {
+			s.instrs++
+		} else if vm.SegmentOf(r.Addr) != vm.Kseg1 {
+			s.keys = append(s.keys, cheetah.PackRef(vm.CacheKey(r.Addr, r.ASID), r.Kind == trace.Store))
+		}
+	}
+	s.sweep.AccessPacked(s.keys)
+}
+
+// readMisses returns the exact load miss count for one configuration.
+func (s *dcacheSweep) readMisses(c area.CacheConfig) uint64 {
+	return s.sweep.ReadMisses(c)
+}
+
+// loads returns the number of cached (non-Kseg1) loads seen.
+func (s *dcacheSweep) loads() uint64 { return s.sweep.Reads() }
 
 // sweepSuiteI runs the whole suite under the OS variant and returns
 // aggregate I-stream miss ratios and CPI contributions per config.

@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"onchip/internal/osmodel"
+	"onchip/internal/search"
+	"onchip/internal/tapeworm"
+	"onchip/internal/tlb"
+	"onchip/internal/trace"
+	"onchip/internal/workload"
+)
+
+// recordStream pre-generates a reference stream once so the benchmarks
+// measure simulation cost, not generation.
+func recordStream(refs int) []trace.Ref {
+	var out []trace.Ref
+	osmodel.NewSystem(osmodel.Mach, workload.VideoPlay()).
+		Generate(refs, trace.SinkFunc(func(r trace.Ref) { out = append(out, r) }))
+	return out
+}
+
+func replay(b *testing.B, stream []trace.Ref, sink trace.Sink) {
+	b.Helper()
+	batch := trace.Batched(sink)
+	b.SetBytes(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for lo := 0; lo < len(stream); lo += 1024 {
+			hi := lo + 1024
+			if hi > len(stream) {
+				hi = len(stream)
+			}
+			batch.Refs(stream[lo:hi])
+		}
+	}
+	b.ReportMetric(float64(len(stream))*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+}
+
+// BenchmarkSweepEngine measures the fused engine (serial groups) over
+// the full Table 5 cache space.
+func BenchmarkSweepEngine(b *testing.B) {
+	stream := recordStream(200_000)
+	engine := newSweepEngine(search.Table5().CacheConfigs(), 8, 1)
+	replay(b, stream, engine)
+}
+
+// BenchmarkSweepEngineParallel is the same engine with its group pool.
+func BenchmarkSweepEngineParallel(b *testing.B) {
+	stream := recordStream(200_000)
+	engine := newSweepEngine(search.Table5().CacheConfigs(), 8, sweepWorkers(1))
+	defer engine.close()
+	replay(b, stream, engine)
+}
+
+// BenchmarkSweepLegacyDirect measures what the engine replaced on the
+// D-stream side alone: direct per-configuration simulation with
+// per-reference delivery.
+func BenchmarkSweepLegacyDirect(b *testing.B) {
+	stream := recordStream(200_000)
+	direct := newDirectDCacheSweep(search.Table5().CacheConfigs())
+	replay(b, stream, unbatched{direct})
+}
+
+// sweepBenchStats is the schema of BENCH_sweep.json.
+type sweepBenchStats struct {
+	Refs             int     `json:"refs"`
+	Workload         string  `json:"workload"`
+	CacheConfigs     int     `json:"cache_configs"`
+	Workers          int     `json:"workers"`
+	LegacySeconds    float64 `json:"legacy_seconds"`
+	EngineSeconds    float64 `json:"engine_seconds"`
+	LegacyRefsPerSec float64 `json:"legacy_refs_per_sec"`
+	EngineRefsPerSec float64 `json:"engine_refs_per_sec"`
+	Speedup          float64 `json:"speedup"`
+	LegacyNsPerRef   float64 `json:"legacy_ns_per_ref"`
+	EngineNsPerRef   float64 `json:"engine_ns_per_ref"`
+}
+
+// TestSweepBenchArtifact times one workload's complete model-building
+// sweep at the default scale -- the original three-generation,
+// direct-D-simulation arrangement against the fused engine -- and
+// writes the measurements to $BENCH_SWEEP_JSON (make bench sets it).
+// It records, not asserts, the speedup: CI machines vary.
+func TestSweepBenchArtifact(t *testing.T) {
+	path := os.Getenv("BENCH_SWEEP_JSON")
+	if path == "" {
+		t.Skip("set BENCH_SWEEP_JSON=<path> to run the sweep benchmark and write the artifact")
+	}
+	const refsEach = defaultSweepRefs
+	spec := workload.VideoPlay()
+	cacheCfgs := search.Table5().CacheConfigs()
+	var tlbConfigs []tlb.Config
+	for _, c := range search.Table5().TLBConfigs() {
+		tlbConfigs = append(tlbConfigs, tlb.Config{TLBConfig: c})
+	}
+
+	// Legacy: three generations, per-reference delivery, direct D-sim.
+	legacyStart := time.Now()
+	isweep := newICacheSweep(cacheCfgs, 8)
+	osmodel.NewSystem(osmodel.Mach, spec).Generate(refsEach, unbatched{isweep})
+	direct := newDirectDCacheSweep(cacheCfgs)
+	osmodel.NewSystem(osmodel.Mach, spec).Generate(refsEach, unbatched{direct})
+	runTapeworm(osmodel.Mach, spec, refsEach, tlbConfigs, nil)
+	legacySec := time.Since(legacyStart).Seconds()
+
+	// Fused: one generation, batched, parallel groups (the sweep runs
+	// one workload here, so the pool gets the whole machine, as it
+	// would per-workload share it in the real sweep).
+	workers := sweepWorkers(1)
+	engineStart := time.Now()
+	engine := newSweepEngine(cacheCfgs, 8, workers)
+	defer engine.close()
+	hw := tlb.NewManaged(tlb.R2000(), tlb.DefaultCosts())
+	tw := tapeworm.Attach(hw, tlbConfigs...)
+	tsink := &tlbOnly{hw: hw}
+	sys := osmodel.NewSystem(osmodel.Mach, spec)
+	tee := trace.Tee{engine, tsink}
+	e1 := sys.Generate(refsEach/3, tee)
+	hw.ResetService()
+	tw.ResetServices()
+	tsink.instrs = 0
+	total := e1
+	if refsEach > total {
+		total += sys.Generate(refsEach-total, tee)
+	}
+	if n := e1 + refsEach - total; n > 0 {
+		sys.Generate(n, tsink)
+	}
+	engineSec := time.Since(engineStart).Seconds()
+
+	// Sanity: the two paths must agree before their timings mean
+	// anything.
+	for i, c := range cacheCfgs {
+		if engine.iMisses(c) != isweep.misses(c) || engine.dReadMisses(c) != direct.caches[i].Stats().ReadMisses {
+			t.Fatalf("%v: fused and legacy sweeps disagree; timings are meaningless", c)
+		}
+	}
+
+	stats := sweepBenchStats{
+		Refs:             refsEach,
+		Workload:         spec.Name,
+		CacheConfigs:     len(cacheCfgs),
+		Workers:          workers,
+		LegacySeconds:    legacySec,
+		EngineSeconds:    engineSec,
+		LegacyRefsPerSec: float64(refsEach) / legacySec,
+		EngineRefsPerSec: float64(refsEach) / engineSec,
+		Speedup:          legacySec / engineSec,
+		LegacyNsPerRef:   legacySec * 1e9 / float64(refsEach),
+		EngineNsPerRef:   engineSec * 1e9 / float64(refsEach),
+	}
+	data, err := json.MarshalIndent(stats, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("model-building sweep at %d refs: legacy %.2fs, fused %.2fs (%.1fx, %d workers) -> %s",
+		refsEach, legacySec, engineSec, stats.Speedup, workers, path)
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"onchip/internal/area"
+	"onchip/internal/cheetah"
+	"onchip/internal/trace"
+	"onchip/internal/vm"
+)
+
+// sweepEngine is the fused fast path of the model-building sweep: one
+// pass over a workload's reference stream prices the whole Table 5
+// cache design space for both streams at once. Per batch it translates
+// the references exactly once -- instruction fetches into I-stream
+// cache keys, cached loads and stores into packed D-stream keys -- and
+// feeds the shared key slices to the single-pass stack simulators
+// (cheetah.Sweep for the I-stream, cheetah.DataSweep for the
+// write-policy-aware D-stream). Compared with the original three-pass
+// sweep this removes two of the three generation passes, the
+// per-reference interface dispatch, and the per-configuration direct
+// D-cache simulation, while producing bit-identical miss counts.
+//
+// With workers > 1 the (set count, line size) simulator groups are
+// partitioned across a private worker pool; each group still observes
+// the full stream in order, so results stay deterministic and
+// identical to the serial path.
+type sweepEngine struct {
+	i      *cheetah.Sweep
+	d      *cheetah.DataSweep
+	instrs uint64
+
+	ikeys []uint64
+	dkeys []uint64
+	one   [1]trace.Ref
+	pool  *groupPool
+}
+
+// sweepWorkers sizes the per-workload group pool: the model-building
+// sweep already runs `concurrent` workloads in parallel, so each
+// workload gets its share of the machine and parallelism inside a
+// workload only helps when cores would otherwise idle.
+func sweepWorkers(concurrent int) int {
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	w := runtime.NumCPU() / concurrent
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// newSweepEngine builds the fused engine over the configurations. With
+// workers > 1 it starts a group pool; callers must close() the engine
+// when done with it.
+func newSweepEngine(configs []area.CacheConfig, maxAssoc, workers int) *sweepEngine {
+	e := &sweepEngine{
+		i: cheetah.NewSweep(configs, maxAssoc),
+		d: cheetah.NewDataSweep(configs),
+	}
+	if groups := e.i.Simulators() + e.d.Simulators(); workers > groups {
+		workers = groups
+	}
+	if workers > 1 {
+		e.pool = newGroupPool(e.i.Groups(), e.d.Groups(), workers)
+	}
+	return e
+}
+
+// Refs implements trace.BatchSink: the sweep's hot path.
+func (e *sweepEngine) Refs(refs []trace.Ref) {
+	e.ikeys = e.ikeys[:0]
+	e.dkeys = e.dkeys[:0]
+	for _, r := range refs {
+		if r.Kind == trace.IFetch {
+			e.ikeys = append(e.ikeys, vm.CacheKey(r.Addr, r.ASID))
+		} else if vm.SegmentOf(r.Addr) != vm.Kseg1 { // uncached
+			e.dkeys = append(e.dkeys, cheetah.PackRef(vm.CacheKey(r.Addr, r.ASID), r.Kind == trace.Store))
+		}
+	}
+	e.instrs += uint64(len(e.ikeys))
+	if e.pool != nil {
+		e.pool.run(e.ikeys, e.dkeys)
+		return
+	}
+	e.i.AccessKeys(e.ikeys)
+	e.d.AccessPacked(e.dkeys)
+}
+
+// Ref implements trace.Sink for producers that do not batch.
+func (e *sweepEngine) Ref(r trace.Ref) {
+	e.one[0] = r
+	e.Refs(e.one[:])
+}
+
+// iMisses returns the I-stream miss count for one configuration.
+func (e *sweepEngine) iMisses(c area.CacheConfig) uint64 { return e.i.Misses(c) }
+
+// dReadMisses returns the D-stream read (load) miss count for one
+// configuration under the write-through, no-write-allocate policy.
+func (e *sweepEngine) dReadMisses(c area.CacheConfig) uint64 { return e.d.ReadMisses(c) }
+
+// close stops the group pool, if any. The miss counts remain readable.
+func (e *sweepEngine) close() {
+	if e.pool != nil {
+		e.pool.close()
+		e.pool = nil
+	}
+}
+
+// groupPool fans one batch of translated keys out to workers that each
+// own a disjoint subset of the simulator groups. Determinism is free:
+// the groups are independent, and the per-batch barrier means every
+// group has consumed the batch before the shared key slices are
+// reused.
+type groupPool struct {
+	chans  []chan groupJob
+	batch  sync.WaitGroup // per-batch barrier
+	exited sync.WaitGroup // worker shutdown
+	panics []any          // one slot per worker, read after the barrier
+}
+
+type groupJob struct {
+	ikeys, dkeys []uint64
+}
+
+type groupShard struct {
+	i []*cheetah.AllAssoc
+	d []*cheetah.AllAssocData
+}
+
+func newGroupPool(igroups []*cheetah.AllAssoc, dgroups []*cheetah.AllAssocData, workers int) *groupPool {
+	// Round-robin the groups across shards, continuing the rotation from
+	// the I-groups into the D-groups so no shard collects a systematic
+	// excess of either kind.
+	shards := make([]groupShard, workers)
+	for idx, g := range igroups {
+		shards[idx%workers].i = append(shards[idx%workers].i, g)
+	}
+	for idx, g := range dgroups {
+		w := (idx + len(igroups)) % workers
+		shards[w].d = append(shards[w].d, g)
+	}
+	p := &groupPool{panics: make([]any, workers)}
+	for w := range shards {
+		ch := make(chan groupJob)
+		p.chans = append(p.chans, ch)
+		p.exited.Add(1)
+		go p.worker(w, shards[w], ch)
+	}
+	return p
+}
+
+func (p *groupPool) worker(w int, sh groupShard, ch chan groupJob) {
+	defer p.exited.Done()
+	for job := range ch {
+		p.consume(w, sh, job)
+	}
+}
+
+// consume runs one job, capturing a panic into the worker's slot so run
+// can re-raise it on the calling goroutine (where the sweep's fault
+// recovery can see it) instead of crashing the process.
+func (p *groupPool) consume(w int, sh groupShard, job groupJob) {
+	defer func() {
+		if v := recover(); v != nil {
+			p.panics[w] = v
+		}
+		p.batch.Done()
+	}()
+	for _, g := range sh.i {
+		g.AccessKeys(job.ikeys)
+	}
+	for _, g := range sh.d {
+		g.AccessPacked(job.dkeys)
+	}
+}
+
+// run distributes one batch and waits for every worker to finish it.
+func (p *groupPool) run(ikeys, dkeys []uint64) {
+	p.batch.Add(len(p.chans))
+	job := groupJob{ikeys: ikeys, dkeys: dkeys}
+	for _, ch := range p.chans {
+		ch <- job
+	}
+	p.batch.Wait()
+	for _, v := range p.panics {
+		if v != nil {
+			panic(v)
+		}
+	}
+}
+
+// close shuts the workers down and waits for them to exit.
+func (p *groupPool) close() {
+	for _, ch := range p.chans {
+		close(ch)
+	}
+	p.exited.Wait()
+}

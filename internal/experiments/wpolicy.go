@@ -8,8 +8,6 @@ import (
 	"onchip/internal/machine"
 	"onchip/internal/osmodel"
 	"onchip/internal/report"
-	"onchip/internal/trace"
-	"onchip/internal/vm"
 	"onchip/internal/workload"
 )
 
@@ -82,18 +80,11 @@ func figure9D(opt Options) (Result, error) {
 		var loads uint64
 		for _, spec := range workload.All() {
 			sweep := newDCacheSweep(configs)
-			var l uint64
-			counter := trace.SinkFunc(func(r trace.Ref) {
-				if r.Kind == trace.Load && vm.SegmentOf(r.Addr) != vm.Kseg1 {
-					l++
-				}
-				sweep.Ref(r)
-			})
-			osmodel.NewSystem(v, spec).Generate(refs, counter)
-			for i, c := range configs {
-				miss[c] += sweep.caches[i].Stats().ReadMisses
+			osmodel.NewSystem(v, spec).Generate(refs, sweep)
+			for _, c := range configs {
+				miss[c] += sweep.readMisses(c)
 			}
-			loads += l
+			loads += sweep.loads()
 		}
 		var series []report.Series
 		for _, l := range lines {

@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"onchip/internal/report"
@@ -84,6 +85,11 @@ type Delta struct {
 // first. Metrics present in only one run are always flagged (Field
 // "presence"). An empty result means the runs agree to within the
 // threshold — the determinism check CI relies on.
+//
+// Metrics whose name contains "_seconds" are wall-clock timings
+// (sweep.stage_seconds.*): machine- and load-dependent by nature, so
+// they are excluded from the comparison entirely. Everything else the
+// simulators publish is a deterministic function of the inputs.
 func Compare(a, b Run, threshold float64) []Delta {
 	am := indexMetrics(a.Metrics)
 	bm := indexMetrics(b.Metrics)
@@ -102,6 +108,9 @@ func Compare(a, b Run, threshold float64) []Delta {
 		}
 	}
 	for name := range names {
+		if strings.Contains(name, "_seconds") {
+			continue
+		}
 		ma, oka := am[name]
 		mb, okb := bm[name]
 		if !oka || !okb {

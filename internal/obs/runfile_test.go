@@ -112,6 +112,38 @@ func TestCompareFlagsCPIRegression(t *testing.T) {
 	}
 }
 
+// TestCompareSkipsWallClockMetrics pins the determinism contract: stage
+// timing gauges (any metric named *_seconds*) vary run to run by nature
+// and must never trip a zero-threshold comparison, in either direction
+// and even when present in only one run.
+func TestCompareSkipsWallClockMetrics(t *testing.T) {
+	a, b := baselineRun(), baselineRun()
+	a.Metrics = append(a.Metrics, telemetry.Metric{
+		Name: "sweep.stage_seconds.model", Type: "gauge", Value: 4.31, Max: 4.31,
+	})
+	b.Metrics = append(b.Metrics, telemetry.Metric{
+		Name: "sweep.stage_seconds.model", Type: "gauge", Value: 1.07, Max: 1.07,
+	})
+	a.Metrics = append(a.Metrics, telemetry.Metric{ // present in a only
+		Name: "sweep.stage_seconds.search", Type: "gauge", Value: 0.02, Max: 0.02,
+	})
+	if d := Compare(a, b, 0); len(d) != 0 {
+		t.Errorf("wall-clock metrics flagged: %+v", d)
+	}
+	// A non-timing drift alongside them is still caught (as the raw
+	// counter plus the derived CPI), with no timing rows mixed in.
+	b.Metrics[0].Value++
+	d := Compare(a, b, 0)
+	if len(d) != 2 {
+		t.Fatalf("deltas = %+v, want machine.cycles and derived CPI only", d)
+	}
+	for _, delta := range d {
+		if strings.Contains(delta.Metric, "_seconds") {
+			t.Errorf("wall-clock metric leaked into deltas: %+v", delta)
+		}
+	}
+}
+
 func TestComparePresenceAndFields(t *testing.T) {
 	a, b := baselineRun(), baselineRun()
 	b.Metrics = b.Metrics[:3]                       // drop the histogram

@@ -360,7 +360,7 @@ func (s *System) Run(n int, sink trace.Sink) GenStats {
 	if s.em == nil {
 		s.em = NewEmitter(sink, s.spec.Seed|1)
 	} else {
-		s.em.sink = sink
+		s.em.SetSink(sink)
 	}
 	target := s.em.Emitted() + uint64(n)
 	for s.em.Emitted() < target {
@@ -377,6 +377,9 @@ func (s *System) Run(n int, sink trace.Sink) GenStats {
 		}
 		s.maybeTick()
 	}
+	// Deliver any buffered tail so the sink is complete before the
+	// caller inspects it (or hands the next slice to a different sink).
+	s.em.Flush()
 	return s.statsSnapshot()
 }
 

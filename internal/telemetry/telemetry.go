@@ -83,6 +83,29 @@ func (g *Gauge) Set(v float64) {
 	}
 }
 
+// Add accumulates delta into the gauge (and its running maximum). It is
+// what concurrent contributors use for additive quantities published as
+// a gauge -- the per-stage wall-clock seconds of the sweep, summed
+// across workload goroutines.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := atomic.LoadUint64(&g.v)
+		v := math.Float64frombits(old) + delta
+		if atomic.CompareAndSwapUint64(&g.v, old, math.Float64bits(v)) {
+			for {
+				om := atomic.LoadUint64(&g.max)
+				if math.Float64frombits(om) >= v ||
+					atomic.CompareAndSwapUint64(&g.max, om, math.Float64bits(v)) {
+					return
+				}
+			}
+		}
+	}
+}
+
 // Value returns the last value set.
 func (g *Gauge) Value() float64 {
 	if g == nil {

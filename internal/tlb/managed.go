@@ -107,7 +107,7 @@ type Managed struct {
 	tlb     *TLB
 	costs   CostModel
 	service Service
-	touched map[vm.TransKey]struct{}
+	touched map[uint64]struct{} // packed keys; see pack
 	onMiss  []func(MissEvent)
 }
 
@@ -132,7 +132,7 @@ func NewManagedE(cfg Config, costs CostModel) (*Managed, error) {
 	return &Managed{
 		tlb:     t,
 		costs:   costs,
-		touched: make(map[vm.TransKey]struct{}),
+		touched: make(map[uint64]struct{}),
 	}, nil
 }
 
@@ -176,7 +176,7 @@ func (m *Managed) ResetService() { m.service = Service{} }
 func (m *Managed) Reset() {
 	m.tlb.Reset()
 	m.service = Service{}
-	m.touched = make(map[vm.TransKey]struct{})
+	m.touched = make(map[uint64]struct{})
 }
 
 // Translate services one reference to addr by asid and returns the stall
@@ -219,10 +219,10 @@ func (m *Managed) Translate(addr uint32, asid uint8) uint64 {
 }
 
 func (m *Managed) firstTouch(key vm.TransKey) bool {
-	if _, ok := m.touched[key]; ok {
+	if _, ok := m.touched[pack(key)]; ok {
 		return false
 	}
-	m.touched[key] = struct{}{}
+	m.touched[pack(key)] = struct{}{}
 	return true
 }
 

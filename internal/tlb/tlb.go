@@ -77,13 +77,18 @@ type entry struct {
 	valid bool
 }
 
+// pack flattens a translation key into a uint64 so the residency index
+// can use the runtime's fast integer-keyed map path instead of hashing
+// a struct. VPN is 20 bits and ASID 8, so the packing is injective.
+func pack(k vm.TransKey) uint64 { return uint64(k.VPN)<<8 | uint64(k.ASID) }
+
 // TLB is the core simulator. It supports probe, insert with victim
 // report, and invalidation -- the operations needed both for direct
 // trace-driven use and for Tapeworm-style kernel-based simulation.
 type TLB struct {
 	cfg   Config
 	sets  [][]entry
-	index map[vm.TransKey]int // present keys -> set, for O(1) FA probes
+	index map[uint64]int // packed present keys -> set, for O(1) FA probes
 	stats Stats
 }
 
@@ -112,7 +117,7 @@ func NewE(cfg Config) (*TLB, error) {
 	for i := range sets {
 		sets[i] = make([]entry, 0, assoc)
 	}
-	return &TLB{cfg: cfg, sets: sets, index: make(map[vm.TransKey]int, cfg.Entries)}, nil
+	return &TLB{cfg: cfg, sets: sets, index: make(map[uint64]int, cfg.Entries)}, nil
 }
 
 // Config returns the simulated configuration.
@@ -126,7 +131,7 @@ func (t *TLB) Reset() {
 	for i := range t.sets {
 		t.sets[i] = t.sets[i][:0]
 	}
-	t.index = make(map[vm.TransKey]int, t.cfg.Entries)
+	t.index = make(map[uint64]int, t.cfg.Entries)
 	t.stats = Stats{}
 }
 
@@ -140,7 +145,23 @@ func (t *TLB) setFor(key vm.TransKey) int {
 // Probe looks key up, updating recency under LRU, and reports a hit.
 func (t *TLB) Probe(key vm.TransKey) bool {
 	t.stats.Probes++
-	si, ok := t.index[key]
+	// Fast path: reference streams have strong page locality, so most
+	// probes land on the one or two most recent translations of their
+	// set. A depth-1 hit changes no state (the entry is already in
+	// front); a depth-2 hit under LRU is a swap. Both bypass the index.
+	set := t.sets[t.setFor(key)]
+	if len(set) > 0 {
+		if set[0].key == key {
+			return true
+		}
+		if len(set) > 1 && set[1].key == key {
+			if t.cfg.Policy == LRU {
+				set[0], set[1] = set[1], set[0]
+			}
+			return true
+		}
+	}
+	si, ok := t.index[pack(key)]
 	if !ok {
 		t.stats.Misses++
 		return false
@@ -161,7 +182,7 @@ func (t *TLB) Probe(key vm.TransKey) bool {
 
 // Contains reports presence without updating recency or counters.
 func (t *TLB) Contains(key vm.TransKey) bool {
-	_, ok := t.index[key]
+	_, ok := t.index[pack(key)]
 	return ok
 }
 
@@ -169,7 +190,7 @@ func (t *TLB) Contains(key vm.TransKey) bool {
 // Inserting a present key only refreshes its recency.
 func (t *TLB) Insert(key vm.TransKey) (victim vm.TransKey, evicted bool) {
 	si := t.setFor(key)
-	if _, ok := t.index[key]; ok {
+	if _, ok := t.index[pack(key)]; ok {
 		if t.cfg.Policy == LRU {
 			t.touch(si, key)
 		}
@@ -180,14 +201,14 @@ func (t *TLB) Insert(key vm.TransKey) (victim vm.TransKey, evicted bool) {
 	if len(set) == assoc {
 		victim = set[len(set)-1].key
 		evicted = true
-		delete(t.index, victim)
+		delete(t.index, pack(victim))
 		set = set[:len(set)-1]
 	}
 	set = append(set, entry{})
 	copy(set[1:], set[:len(set)-1])
 	set[0] = entry{key: key, valid: true}
 	t.sets[si] = set
-	t.index[key] = si
+	t.index[pack(key)] = si
 	return victim, evicted
 }
 
@@ -206,11 +227,11 @@ func (t *TLB) touch(si int, key vm.TransKey) {
 // Invalidate removes key if present, reporting whether it was.
 // Tapeworm uses this to maintain the hardware-subset invariant.
 func (t *TLB) Invalidate(key vm.TransKey) bool {
-	si, ok := t.index[key]
+	si, ok := t.index[pack(key)]
 	if !ok {
 		return false
 	}
-	delete(t.index, key)
+	delete(t.index, pack(key))
 	set := t.sets[si]
 	for i := range set {
 		if set[i].key == key {
@@ -228,8 +249,10 @@ func (t *TLB) Len() int { return len(t.index) }
 // particular order). Tapeworm uses this to audit its subset invariant.
 func (t *TLB) Keys() []vm.TransKey {
 	keys := make([]vm.TransKey, 0, len(t.index))
-	for k := range t.index {
-		keys = append(keys, k)
+	for _, set := range t.sets {
+		for _, e := range set {
+			keys = append(keys, e.key)
+		}
 	}
 	return keys
 }

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// recorder captures every reference it sees, via whichever entry point
+// the producer picked.
+type recorder struct {
+	refs    []Ref
+	batches int
+}
+
+func (r *recorder) Ref(x Ref) { r.refs = append(r.refs, x) }
+
+// batchRecorder additionally implements BatchSink.
+type batchRecorder struct{ recorder }
+
+func (r *batchRecorder) Refs(refs []Ref) {
+	r.refs = append(r.refs, refs...)
+	r.batches++
+}
+
+func testStream(n int) []Ref {
+	out := make([]Ref, n)
+	for i := range out {
+		out[i] = Ref{
+			Addr: uint32(i * 4),
+			ASID: uint8(i % 7),
+			Kind: Kind(i % 3),
+			Mode: Mode(i % 2),
+		}
+	}
+	return out
+}
+
+// Every sink behind a Tee -- batch-capable or not -- must see the
+// identical reference sequence the producer emitted.
+func TestTeeSinksSeeIdenticalSequence(t *testing.T) {
+	stream := testStream(1000)
+	plain1 := &recorder{}
+	plain2 := &recorder{}
+	batch := &batchRecorder{}
+	tee := Tee{plain1, batch, plain2}
+
+	// Deliver as a mix of per-reference and batched calls, like a
+	// generator switching between slices of work.
+	for _, r := range stream[:100] {
+		tee.Ref(r)
+	}
+	tee.Refs(stream[100:600])
+	tee.Refs(stream[600:600]) // empty batch is a no-op
+	for _, r := range stream[600:650] {
+		tee.Ref(r)
+	}
+	tee.Refs(stream[650:])
+
+	for name, got := range map[string][]Ref{
+		"plain1": plain1.refs, "plain2": plain2.refs, "batch": batch.refs,
+	} {
+		if !reflect.DeepEqual(got, stream) {
+			t.Errorf("%s: sink did not see the generated sequence (%d refs, want %d)",
+				name, len(got), len(stream))
+		}
+	}
+	if batch.batches != 3 {
+		t.Errorf("batch-capable sink got %d batch deliveries, want 3", batch.batches)
+	}
+}
+
+// Batched must return the sink itself when it already implements
+// BatchSink, and a sequence-preserving shim otherwise.
+func TestBatchedShim(t *testing.T) {
+	b := &batchRecorder{}
+	if Batched(b) != BatchSink(b) {
+		t.Error("Batched wrapped a sink that was already batch-capable")
+	}
+	stream := testStream(257)
+	p := &recorder{}
+	Batched(p).Refs(stream)
+	if !reflect.DeepEqual(p.refs, stream) {
+		t.Errorf("shim delivered %d refs, want %d in order", len(p.refs), len(stream))
+	}
+}
+
+// Counter's batch path must agree with its per-reference path.
+func TestCounterBatchMatchesScalar(t *testing.T) {
+	stream := testStream(999)
+	var a, b Counter
+	for _, r := range stream {
+		a.Ref(r)
+	}
+	b.Refs(stream[:500])
+	b.Refs(stream[500:])
+	if a != b {
+		t.Errorf("batch counter %+v != scalar counter %+v", b, a)
+	}
+}

@@ -87,6 +87,38 @@ type SinkFunc func(Ref)
 // Ref implements Sink.
 func (f SinkFunc) Ref(r Ref) { f(r) }
 
+// BatchSink is the high-throughput variant of Sink: whole slices of
+// references are delivered at once, amortizing the per-reference
+// interface dispatch that dominates tight simulator loops. Generators
+// that detect a BatchSink (see osmodel's emitter) buffer internally
+// and deliver in batches; the reference sequence is identical either
+// way. The batch slice is only valid for the duration of the call --
+// implementations must not retain it.
+type BatchSink interface {
+	// Refs delivers a batch of references in stream order.
+	Refs([]Ref)
+}
+
+// sinkShim adapts a plain Sink to BatchSink by looping.
+type sinkShim struct{ s Sink }
+
+func (b sinkShim) Refs(refs []Ref) {
+	for _, r := range refs {
+		b.s.Ref(r)
+	}
+}
+
+// Batched returns s's batch entry point: s itself when it implements
+// BatchSink, otherwise a shim that unrolls each batch into per-
+// reference Ref calls. Either way the sink observes the exact same
+// reference sequence.
+func Batched(s Sink) BatchSink {
+	if b, ok := s.(BatchSink); ok {
+		return b
+	}
+	return sinkShim{s}
+}
+
 // Generator produces a reference stream into a sink. The OS/workload
 // models implement Generator.
 type Generator interface {
@@ -96,13 +128,31 @@ type Generator interface {
 	Generate(n int, sink Sink) int
 }
 
-// Tee fans a stream out to several sinks in order.
+// Tee fans a stream out to several sinks in order: every sink sees the
+// identical reference sequence, so one generation pass can feed
+// several independent simulators (the I-stream, D-stream and TLB
+// sweeps of the model-building phase) at once.
 type Tee []Sink
 
 // Ref implements Sink.
 func (t Tee) Ref(r Ref) {
 	for _, s := range t {
 		s.Ref(r)
+	}
+}
+
+// Refs implements BatchSink: batch-capable sinks receive the whole
+// batch in one call, plain sinks get the per-reference unroll. Each
+// sink still observes the identical sequence.
+func (t Tee) Refs(refs []Ref) {
+	for _, s := range t {
+		if b, ok := s.(BatchSink); ok {
+			b.Refs(refs)
+		} else {
+			for _, r := range refs {
+				s.Ref(r)
+			}
+		}
 	}
 }
 
@@ -118,6 +168,15 @@ func (c *Counter) Ref(r Ref) {
 	c.ByKind[r.Kind]++
 	c.ByMode[r.Mode]++
 	c.Total++
+}
+
+// Refs implements BatchSink.
+func (c *Counter) Refs(refs []Ref) {
+	for _, r := range refs {
+		c.ByKind[r.Kind]++
+		c.ByMode[r.Mode]++
+	}
+	c.Total += uint64(len(refs))
 }
 
 // Instructions returns the number of instruction fetches seen.
