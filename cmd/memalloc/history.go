@@ -16,6 +16,7 @@ import (
 	"onchip/internal/obs"
 	"onchip/internal/search"
 	"onchip/internal/telemetry"
+	"onchip/internal/tsdb"
 )
 
 // runHistory implements `memalloc history`: run experiments with
@@ -27,12 +28,15 @@ func runHistory(args []string, globalRefs int) int {
 	refs := fs.Int("refs", globalRefs, "simulated references per workload run (0 = experiment default)")
 	dir := fs.String("dir", ".", "directory for the snapshot file")
 	out := fs.String("o", "", "exact output path (overrides -dir and the BENCH_<runid>.json name)")
+	tsdbDir := fs.String("tsdb", "", "also persist sampled metric series to this time-series store root")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, `usage: memalloc history [-refs N] [-dir DIR | -o FILE] <experiment>... | all
+		fmt.Fprintln(os.Stderr, `usage: memalloc history [-refs N] [-dir DIR | -o FILE] [-tsdb DIR] <experiment>... | all
 
 Runs the experiments with metrics collection on and persists the
 end-of-run telemetry snapshot as BENCH_<runid>.json, for later
-regression checks with "memalloc compare".`)
+regression checks with "memalloc compare". With -tsdb, the sampled
+metric series are also persisted to the durable time-series store, so
+one invocation feeds both "memalloc compare" and "memalloc tsdb trend".`)
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -47,6 +51,38 @@ regression checks with "memalloc compare".`)
 	start := time.Now()
 	reg := telemetry.NewRegistry()
 	opt := experiments.Options{Refs: *refs, Metrics: reg, Context: ctx}
+	runID := obs.RunID("memalloc", start)
+	flushTsdb := func() {}
+	if *tsdbDir != "" {
+		man := &telemetry.Manifest{
+			Command:   "memalloc history",
+			Args:      args,
+			Start:     start.Format(time.RFC3339),
+			GoVersion: runtime.Version(),
+			Labels:    map[string]string{"experiments": fmt.Sprint(ids)},
+		}
+		app, err := tsdb.Create(*tsdbDir, runID, tsdb.Meta{
+			Command:   man.Command,
+			Args:      man.Args,
+			Start:     man.Start,
+			GoVersion: man.GoVersion,
+			Labels:    man.Labels,
+		}, tsdb.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memalloc:", err)
+			return 1
+		}
+		srv := obs.New(obs.Config{Registry: reg, Manifest: man, TSDB: app, TSDBRoot: *tsdbDir})
+		srv.StartSampler()
+		// Stop the sampler, then drain the appender. Triggered explicitly
+		// before the snapshot is written (so CI archives a consistent
+		// BENCH+shard pair), by a signal, or -- at the latest -- on return.
+		flushTsdb = lifecycle.OnShutdown(ctx, "memalloc history: tsdb", nil, func() error {
+			srv.Close()
+			return app.Close()
+		})
+		defer flushTsdb()
+	}
 	for _, id := range ids {
 		t0 := time.Now()
 		res, err := experiments.Run(id, opt)
@@ -62,9 +98,10 @@ regression checks with "memalloc compare".`)
 		fmt.Fprintf(os.Stderr, "memalloc: history: %s done (%.1fs)\n", res.ID, time.Since(t0).Seconds())
 	}
 
+	flushTsdb()
 	path := *out
 	if path == "" {
-		path = filepath.Join(*dir, obs.RunFileName(obs.RunID("memalloc", start)))
+		path = filepath.Join(*dir, obs.RunFileName(runID))
 	}
 	run := obs.Run{
 		Manifest: &telemetry.Manifest{

@@ -28,8 +28,15 @@
 //	-serve ADDR     serve the live observability plane on ADDR for the
 //	                duration of the run: GET /metrics (Prometheus),
 //	                /snapshot (JSON), /events (SSE tail of the stall-
-//	                event ring), /sweep (enumeration progress) and
-//	                /series (sampled metric time series)
+//	                event ring), /sweep (enumeration progress),
+//	                /series (sampled metric time series, with a
+//	                ?since=<unix_ms> cursor) and /query (the durable
+//	                time-series store, live and historical runs)
+//	-tsdb DIR       persist the sampled metric series to an embedded
+//	                on-disk time-series store under DIR (checksummed
+//	                append-only shards, raw + 10s + 1m rollup tiers);
+//	                query later with "memalloc tsdb" or a fresh
+//	                process's /query endpoint
 //
 // Fault tolerance (see DESIGN.md "Fault tolerance"):
 //
@@ -48,11 +55,17 @@
 //
 // Run history (see EXPERIMENTS.md "Live monitoring"):
 //
-//	memalloc history [-refs N] [-o FILE] <experiment>...
+//	memalloc history [-refs N] [-o FILE] [-tsdb DIR] <experiment>...
 //	                persist the end-of-run metric snapshot as
-//	                BENCH_<runid>.json
+//	                BENCH_<runid>.json (and, with -tsdb, the sampled
+//	                series)
 //	memalloc compare [-threshold F] <a.json> <b.json>
 //	                diff two snapshots; non-zero exit on regression
+//	memalloc tsdb ls|export|trend
+//	                inspect the durable time-series store: list stored
+//	                runs and metrics, export one series (json/csv), or
+//	                fit per-metric regressions across N runs and exit
+//	                non-zero on sustained drift
 package main
 
 import (
@@ -72,6 +85,7 @@ import (
 	"onchip/internal/machine"
 	"onchip/internal/obs"
 	"onchip/internal/telemetry"
+	"onchip/internal/tsdb"
 )
 
 func main() {
@@ -85,6 +99,7 @@ func run() int {
 	progress := flag.Bool("progress", false, "stream live progress lines to stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	serveAddr := flag.String("serve", "", "serve live observability endpoints on this address (e.g. :6060)")
+	tsdbDir := flag.String("tsdb", "", "persist sampled metric series to this durable time-series store root (query with /query or \"memalloc tsdb\")")
 	checkpoint := flag.String("checkpoint", "", "persist design-space sweep state to this file (atomic, checksummed)")
 	resume := flag.String("resume", "", "resume a design-space sweep from this checkpoint file (implies -checkpoint to the same file)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection PRNG seed (deterministic schedule)")
@@ -114,6 +129,8 @@ func run() int {
 		return runCompare(args[1:])
 	case "checkpoint":
 		return runCheckpointInfo(args[1:])
+	case "tsdb":
+		return runTsdb(args[1:])
 	}
 	ids, code := resolveExperiments(args)
 	if code >= 0 {
@@ -150,7 +167,7 @@ func run() int {
 	}
 	opt.FaultInjector = faultinject.New(faultinject.Config{Seed: *faultSeed, PanicProb: *faultPanicProb})
 	opt.FaultRetries = *faultRetries
-	if *metricsFile != "" || *serveAddr != "" {
+	if *metricsFile != "" || *serveAddr != "" || *tsdbDir != "" {
 		opt.Metrics = telemetry.NewRegistry()
 		opt.FaultInjector.Describe(opt.Metrics, "faults")
 	}
@@ -169,21 +186,50 @@ func run() int {
 		GoVersion: runtime.Version(),
 		Labels:    map[string]string{"experiments": fmt.Sprint(ids)},
 	}
-	if *serveAddr != "" {
+	var tsdbApp *tsdb.Appender
+	if *tsdbDir != "" {
+		app, err := tsdb.Create(*tsdbDir, obs.RunID("memalloc", start), tsdb.Meta{
+			Command:   man.Command,
+			Args:      man.Args,
+			Start:     man.Start,
+			GoVersion: man.GoVersion,
+			Labels:    man.Labels,
+		}, tsdb.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memalloc:", err)
+			return 1
+		}
+		tsdbApp = app
+		// Flush-on-shutdown: a signal drains the appender's buffer and
+		// finalizes rollup windows the moment the context cancels, and
+		// the deferred trigger covers the normal exit (after the obs
+		// sampler below has stopped, so nothing appends past the drain).
+		flushTsdb := lifecycle.OnShutdown(ctx, "memalloc: tsdb", nil, app.Close)
+		defer flushTsdb()
+	}
+	if *serveAddr != "" || tsdbApp != nil {
 		srv := obs.New(obs.Config{
 			Registry: opt.Metrics,
 			Tracer:   opt.Tracer,
 			Manifest: man,
 			KindName: machine.KindName,
 			CompName: machine.CompName,
+			TSDB:     tsdbApp,
+			TSDBRoot: *tsdbDir,
 		})
-		bound, err := srv.Start(*serveAddr)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "memalloc: serve:", err)
-			return 1
+		if *serveAddr != "" {
+			bound, err := srv.Start(*serveAddr)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memalloc: serve:", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "memalloc: observability plane on http://%s/\n", bound)
+		} else {
+			// -tsdb without -serve still samples: the series persists
+			// even when nothing is watching live.
+			srv.StartSampler()
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "memalloc: observability plane on http://%s/\n", bound)
 		opt.SweepObserver = srv.ObserveSweep
 		opt.CheckpointObserver = srv.ObserveCheckpoint
 	}
@@ -263,14 +309,17 @@ func writeTrace(path string, tr *telemetry.Tracer) error {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: memalloc [flags] list | all | <experiment>...
-       memalloc history [-refs N] [-dir DIR | -o FILE] <experiment>... | all
+       memalloc history [-refs N] [-dir DIR | -o FILE] [-tsdb DIR] <experiment>... | all
        memalloc compare [-threshold F] <a.json> <b.json>
+       memalloc tsdb ls|export|trend [flags]
 
 Reproduces the evaluation of "Optimal Allocation of On-chip Memory for
 Multiple-API Operating Systems" (ISCA 1994). Run "memalloc list" for the
 experiment catalog. "history" persists an end-of-run metric snapshot as
 BENCH_<runid>.json; "compare" diffs two snapshots and exits non-zero on
-regression.
+regression. "-tsdb DIR" persists sampled metric series to an embedded
+on-disk time-series store; "memalloc tsdb" lists, exports and fits
+longitudinal drift regressions over the stored runs.
 
 Fault tolerance: SIGINT/SIGTERM shuts down gracefully -- the design-
 space sweep persists a -checkpoint file, telemetry flushes, and partial

@@ -61,6 +61,33 @@ func Notify(parent context.Context, name string, w io.Writer) (ctx context.Conte
 	}
 }
 
+// OnShutdown registers fn to run exactly once when ctx (usually the
+// Notify context) is cancelled, and returns a trigger that runs it
+// immediately if it has not run yet. It is the flush-on-shutdown hook
+// durable state needs: the goroutine fires the moment a signal cancels
+// the run -- so buffered data (a tsdb appender, say) hits disk even if
+// the main path takes a while to unwind -- while the returned trigger,
+// deferred in main, covers the normal exit path. Errors from fn are
+// reported to w (stderr when nil) prefixed with name.
+func OnShutdown(ctx context.Context, name string, w io.Writer, fn func() error) (trigger func()) {
+	if w == nil {
+		w = os.Stderr
+	}
+	var once sync.Once
+	run := func() {
+		once.Do(func() {
+			if err := fn(); err != nil {
+				fmt.Fprintf(w, "%s: shutdown flush: %v\n", name, err)
+			}
+		})
+	}
+	go func() {
+		<-ctx.Done()
+		run()
+	}()
+	return run
+}
+
 func exitNum(sig os.Signal) int {
 	if s, ok := sig.(syscall.Signal); ok {
 		return int(s)

@@ -42,6 +42,47 @@ func TestNotifyStopReleasesWithoutSignal(t *testing.T) {
 	}
 }
 
+func TestOnShutdownRunsOnceOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := make(chan struct{}, 4)
+	trigger := OnShutdown(ctx, "testbin", &bytes.Buffer{}, func() error {
+		ran <- struct{}{}
+		return nil
+	})
+	cancel()
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hook did not run within 5s of cancellation")
+	}
+	trigger() // already ran: must not run again
+	trigger()
+	select {
+	case <-ran:
+		t.Fatal("hook ran more than once")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestOnShutdownManualTriggerAndErrorReporting(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var buf bytes.Buffer
+	runs := 0
+	trigger := OnShutdown(ctx, "testbin", &buf, func() error {
+		runs++
+		return os.ErrClosed
+	})
+	trigger() // normal exit path: no cancellation yet
+	trigger()
+	if runs != 1 {
+		t.Fatalf("hook ran %d times, want 1", runs)
+	}
+	if !strings.Contains(buf.String(), "testbin") || !strings.Contains(buf.String(), "shutdown flush") {
+		t.Errorf("error report = %q", buf.String())
+	}
+}
+
 func TestNotifyInheritsParentCancellation(t *testing.T) {
 	parent, cancel := context.WithCancel(context.Background())
 	ctx, stop := Notify(parent, "testbin", &bytes.Buffer{})

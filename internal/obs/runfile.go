@@ -13,10 +13,16 @@ import (
 	"onchip/internal/telemetry"
 )
 
+// RunSchemaVersion is the run-file schema this package writes. Readers
+// accept 0 (legacy files predating the field) through the current
+// version and reject newer files instead of silently misreading them.
+const RunSchemaVersion = 1
+
 // Run is a persisted end-of-run snapshot: the manifest identifying the
 // run and every collected metric. `memalloc history` writes one as
 // BENCH_<runid>.json; `memalloc compare` diffs two.
 type Run struct {
+	Schema   int                 `json:"schema,omitempty"`
 	Manifest *telemetry.Manifest `json:"manifest,omitempty"`
 	Metrics  []telemetry.Metric  `json:"metrics"`
 }
@@ -32,8 +38,12 @@ func RunFileName(runID string) string {
 	return "BENCH_" + runID + ".json"
 }
 
-// WriteRunFile persists the run as indented JSON.
+// WriteRunFile persists the run as indented JSON, stamping the current
+// schema version when the caller left it zero.
 func WriteRunFile(path string, r Run) error {
+	if r.Schema == 0 {
+		r.Schema = RunSchemaVersion
+	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return err
@@ -41,7 +51,9 @@ func WriteRunFile(path string, r Run) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// ReadRunFile loads a run snapshot written by WriteRunFile.
+// ReadRunFile loads a run snapshot written by WriteRunFile. Legacy
+// files without a schema field read as schema 0; files written by a
+// newer binary are rejected.
 func ReadRunFile(path string) (Run, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -50,6 +62,10 @@ func ReadRunFile(path string) (Run, error) {
 	var r Run
 	if err := json.Unmarshal(data, &r); err != nil {
 		return Run{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema > RunSchemaVersion {
+		return Run{}, fmt.Errorf("%s: run-file schema %d is newer than this binary supports (%d)",
+			path, r.Schema, RunSchemaVersion)
 	}
 	return r, nil
 }

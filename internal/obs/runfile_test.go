@@ -48,6 +48,45 @@ func TestRunFileRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(got.Metrics, want.Metrics) {
 		t.Errorf("metrics: got %+v, want %+v", got.Metrics, want.Metrics)
 	}
+	if got.Schema != RunSchemaVersion {
+		t.Errorf("Schema = %d, want stamped %d", got.Schema, RunSchemaVersion)
+	}
+}
+
+// TestRunFileSchemaVersions pins the compatibility contract: the
+// current schema round-trips, legacy files without the field still
+// load (as schema 0), and files from a newer binary are refused.
+func TestRunFileSchemaVersions(t *testing.T) {
+	dir := t.TempDir()
+
+	explicit := filepath.Join(dir, "explicit.json")
+	r := baselineRun()
+	r.Schema = RunSchemaVersion
+	if err := WriteRunFile(explicit, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRunFile(explicit)
+	if err != nil || got.Schema != RunSchemaVersion {
+		t.Fatalf("explicit schema round trip: %+v, %v", got.Schema, err)
+	}
+
+	legacy := filepath.Join(dir, "legacy.json")
+	body := `{"manifest":{"command":"memalloc history"},"metrics":[{"name":"machine.cycles","type":"counter","value":10}]}`
+	if err := os.WriteFile(legacy, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadRunFile(legacy)
+	if err != nil || got.Schema != 0 || len(got.Metrics) != 1 {
+		t.Fatalf("legacy read: schema=%d metrics=%d err=%v", got.Schema, len(got.Metrics), err)
+	}
+
+	future := filepath.Join(dir, "future.json")
+	if err := os.WriteFile(future, []byte(`{"schema":99,"metrics":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRunFile(future); err == nil || !strings.Contains(err.Error(), "newer") {
+		t.Errorf("future schema error = %v, want refusal naming the version", err)
+	}
 }
 
 func TestReadRunFileErrors(t *testing.T) {

@@ -2,15 +2,18 @@ package obs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"time"
 
 	"onchip/internal/search"
 	"onchip/internal/telemetry"
+	"onchip/internal/tsdb"
 )
 
 // Config assembles a Server around a run's telemetry.
@@ -31,6 +34,15 @@ type Config struct {
 	// SeriesDepth is the per-metric sample window; 0 selects
 	// DefaultSeriesDepth.
 	SeriesDepth int
+	// TSDB, when non-nil, receives every series sample the in-memory
+	// store does, making the run's series durable; /query serves it
+	// live (flush-then-read, so reads observe everything appended).
+	// The server does not close it -- its owner does, via the
+	// lifecycle flush-on-shutdown hook.
+	TSDB *tsdb.Appender
+	// TSDBRoot, when non-empty, is the store root /query serves
+	// historical runs from (usually the directory TSDB writes under).
+	TSDBRoot string
 }
 
 // Server is the embeddable observability endpoint. Create one with New,
@@ -49,6 +61,10 @@ type Server struct {
 	closeOnce sync.Once
 	done      chan struct{}
 	httpSrv   *http.Server
+
+	sampleMu  sync.Mutex
+	sampleBuf []telemetry.Metric // reused across scrapes (SnapshotAppend)
+	sampling  bool               // a sampler goroutine is running
 }
 
 // New returns a server over the given telemetry. It does not listen
@@ -106,9 +122,15 @@ func (s *Server) ObserveCheckpoint(cp *search.Checkpoint) {
 
 // Sample takes one immediate series sample from the registry, outside
 // the ticker cadence (Start samples once up front so /series answers
-// before the first tick).
+// before the first tick). The same scrape feeds the in-memory window
+// and, when configured, the durable tsdb appender; the snapshot buffer
+// is reused across scrapes, so a steady-state sample allocates little.
 func (s *Server) Sample(now time.Time) {
-	s.store.Observe(now, s.cfg.Registry.Snapshot())
+	s.sampleMu.Lock()
+	defer s.sampleMu.Unlock()
+	s.sampleBuf = s.cfg.Registry.SnapshotAppend(s.sampleBuf[:0])
+	s.store.Observe(now, s.sampleBuf)
+	s.cfg.TSDB.Append(now, s.sampleBuf)
 }
 
 // Start listens on addr (":6060", "localhost:0", ...), serves the
@@ -122,16 +144,35 @@ func (s *Server) Start(addr string) (string, error) {
 	}
 	s.httpSrv = &http.Server{Handler: s.Handler()}
 	go s.httpSrv.Serve(ln)
-	s.Sample(time.Now())
-	go s.sampleLoop()
+	s.StartSampler()
 	return ln.Addr().String(), nil
 }
 
+// StartSampler starts the periodic series sampler without serving
+// HTTP: what a run with -tsdb but no -serve uses to persist its series.
+// Safe to call once; Start calls it itself.
+func (s *Server) StartSampler() {
+	s.sampleMu.Lock()
+	already := s.sampling
+	s.sampling = true
+	s.sampleMu.Unlock()
+	if already {
+		return
+	}
+	s.Sample(time.Now())
+	go s.sampleLoop()
+}
+
 // Close stops the sampler and the HTTP server, severing any open event
-// streams. Safe to call more than once.
+// streams. One final sample is taken first, so the series (and the
+// tsdb appender, when attached) capture the end-of-run totals that
+// land after the last tick -- machine.FlushMetrics runs at run end.
+// Safe to call more than once. Close does not close the tsdb appender;
+// its owner drains it afterwards via the lifecycle shutdown hook.
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
+		s.Sample(time.Now())
 		close(s.done)
 		if s.httpSrv != nil {
 			err = s.httpSrv.Close()
@@ -160,7 +201,9 @@ func (s *Server) sampleLoop() {
 //	GET /snapshot  manifest + full metric snapshot as JSON
 //	GET /events    server-sent-events tail of the stall-event ring
 //	GET /sweep     latest design-space enumeration progress
-//	GET /series    sampled time series (?metric=NAME; bare lists names)
+//	GET /series    sampled time series (?metric=NAME&since=MS; bare lists names)
+//	GET /query     durable tsdb series, live and historical
+//	               (?metric=NAME&res=raw|10s|1m&from=MS&to=MS&run=ID)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
@@ -169,6 +212,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/sweep", s.handleSweep)
 	mux.HandleFunc("/series", s.handleSeries)
+	mux.HandleFunc("/query", s.handleQuery)
 	return mux
 }
 
@@ -183,7 +227,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /snapshot  run manifest + metric snapshot (JSON)
   /events    stall-event ring tail (SSE; ?since=SEQ, ?n=MAX)
   /sweep     design-space enumeration progress (JSON)
-  /series    sampled time series (?metric=NAME; bare lists names)
+  /series    sampled time series (?metric=NAME, ?since=UNIX_MS cursor; bare lists names)
+  /query     durable tsdb series, live + historical runs
+             (?metric=NAME, ?res=raw|10s|1m, ?from=MS, ?to=MS, ?run=ID; bare lists runs)
 `)
 }
 
@@ -219,14 +265,27 @@ func (s *Server) handleSweep(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("metric")
+	q := r.URL.Query()
+	name := q.Get("metric")
 	if name == "" {
 		writeJSON(w, struct {
 			Metrics []string `json:"metrics"`
 		}{s.store.Names()})
 		return
 	}
-	points, ok := s.store.Series(name)
+	var since int64
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	// The since cursor turns polling incremental: a scraper passes the
+	// last Point.UnixMs it saw and receives only newer samples instead
+	// of the full window every time.
+	points, ok := s.store.SeriesSince(name, since)
 	if !ok {
 		http.Error(w, fmt.Sprintf("no samples for metric %q", name), http.StatusNotFound)
 		return
@@ -235,6 +294,96 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 		Metric string  `json:"metric"`
 		Points []Point `json:"points"`
 	}{name, points})
+}
+
+// handleQuery serves the durable time-series store: any run persisted
+// under the tsdb root, including the live one (whose buffered samples
+// are flushed first so the response is current to the last scrape).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.TSDB == nil && s.cfg.TSDBRoot == "" {
+		http.Error(w, "no tsdb attached to this run (start with -tsdb DIR)", http.StatusNotFound)
+		return
+	}
+	root := s.cfg.TSDBRoot
+	liveRun := ""
+	if s.cfg.TSDB != nil {
+		liveRun = filepath.Base(s.cfg.TSDB.Dir())
+		if root == "" {
+			root = filepath.Dir(s.cfg.TSDB.Dir())
+		}
+	}
+	db := tsdb.Open(root)
+	q := r.URL.Query()
+	metric := q.Get("metric")
+	runID := q.Get("run")
+	if runID == "" {
+		runID = liveRun
+	}
+	if metric == "" {
+		// Bare /query lists what is queryable: every stored run, plus
+		// the selected run's metrics when one is resolvable.
+		runs, err := db.Runs()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		var metrics []tsdb.MetricInfo
+		if runID != "" {
+			s.flushLive(runID, liveRun)
+			metrics, _ = db.Metrics(runID)
+		}
+		writeJSON(w, struct {
+			LiveRun string            `json:"live_run,omitempty"`
+			Runs    []tsdb.Meta       `json:"runs"`
+			Metrics []tsdb.MetricInfo `json:"metrics,omitempty"`
+		}{liveRun, runs, metrics})
+		return
+	}
+	if runID == "" {
+		http.Error(w, "no run selected and no live tsdb run (pass ?run=ID)", http.StatusBadRequest)
+		return
+	}
+	res := tsdb.Raw
+	if v := q.Get("res"); v != "" {
+		var err error
+		if res, err = tsdb.ParseRes(v); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	var fromMs, toMs int64
+	for _, p := range []struct {
+		key string
+		dst *int64
+	}{{"from", &fromMs}, {"to", &toMs}} {
+		if v := q.Get(p.key); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				http.Error(w, "bad "+p.key+": "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			*p.dst = n
+		}
+	}
+	s.flushLive(runID, liveRun)
+	series, err := db.Query(runID, metric, res, fromMs, toMs)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, tsdb.ErrNoSeries) {
+			code = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	writeJSON(w, series)
+}
+
+// flushLive pushes the live appender's buffer to disk before a read of
+// the live run, so /query reflects everything sampled so far.
+func (s *Server) flushLive(runID, liveRun string) {
+	if s.cfg.TSDB != nil && runID == liveRun {
+		s.cfg.TSDB.Flush()
+	}
 }
 
 // handleEvents streams the stall-event ring as server-sent events: each

@@ -12,6 +12,7 @@ import (
 
 	"onchip/internal/search"
 	"onchip/internal/telemetry"
+	"onchip/internal/tsdb"
 )
 
 func testServer(t *testing.T) (*Server, *telemetry.Registry, *telemetry.Tracer) {
@@ -135,6 +136,110 @@ func TestHandleSeries(t *testing.T) {
 
 	if rec := get(t, h, "/series?metric=unknown"); rec.Code != 404 {
 		t.Errorf("unknown metric: code %d, want 404", rec.Code)
+	}
+}
+
+func TestHandleSeriesSinceCursor(t *testing.T) {
+	srv, reg, _ := testServer(t)
+	c := reg.Counter("refs", "")
+	for i := 0; i < 3; i++ {
+		c.Add(1)
+		srv.Sample(time.UnixMilli(int64(1000 * (i + 1))))
+	}
+	h := srv.Handler()
+	var body struct {
+		Points []Point `json:"points"`
+	}
+	rec := get(t, h, "/series?metric=refs&since=1000")
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Points) != 2 || body.Points[0].UnixMs != 2000 {
+		t.Fatalf("since cursor points = %+v", body.Points)
+	}
+	if rec := get(t, h, "/series?metric=refs&since=bogus"); rec.Code != 400 {
+		t.Errorf("bad since: code %d, want 400", rec.Code)
+	}
+}
+
+// TestHandleQuery exercises the durable /query path end to end: a
+// server with a live tsdb appender serves its own (flushed-on-demand)
+// run and a previously stored historical run from the same root.
+func TestHandleQuery(t *testing.T) {
+	root := t.TempDir()
+	// A finished historical run.
+	hist, err := tsdb.Create(root, "20260101T000000Z-old", tsdb.Meta{Command: "old"}, tsdb.Options{FlushEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist.Append(time.UnixMilli(500), []telemetry.Metric{{Name: "refs", Type: "counter", Value: 7}})
+	if err := hist.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	live, err := tsdb.Create(root, "20260808T000000Z-live", tsdb.Meta{Command: "live"}, tsdb.Options{FlushEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	srv := New(Config{Registry: reg, TSDB: live, TSDBRoot: root})
+	defer srv.Close()
+	h := srv.Handler()
+
+	reg.Counter("refs", "").Add(3)
+	srv.Sample(time.UnixMilli(1000)) // buffered in the appender, not yet flushed
+
+	// Bare /query lists runs and the live run's metrics.
+	var listing struct {
+		LiveRun string            `json:"live_run"`
+		Runs    []tsdb.Meta       `json:"runs"`
+		Metrics []tsdb.MetricInfo `json:"metrics"`
+	}
+	rec := get(t, h, "/query")
+	if err := json.Unmarshal(rec.Body.Bytes(), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if listing.LiveRun != "20260808T000000Z-live" || len(listing.Runs) != 2 ||
+		len(listing.Metrics) != 1 || listing.Metrics[0].Name != "refs" {
+		t.Fatalf("listing = %+v", listing)
+	}
+
+	// Live run: flush-on-read makes the buffered sample visible.
+	var series tsdb.Series
+	rec = get(t, h, "/query?metric=refs")
+	if err := json.Unmarshal(rec.Body.Bytes(), &series); err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) != 1 || series.Points[0].Sum != 3 || series.Kind != "counter" {
+		t.Fatalf("live series = %+v", series)
+	}
+
+	// Historical run, explicit selector.
+	rec = get(t, h, "/query?metric=refs&run=20260101T000000Z-old")
+	series = tsdb.Series{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &series); err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) != 1 || series.Points[0].Sum != 7 || series.RunID != "20260101T000000Z-old" {
+		t.Fatalf("historical series = %+v", series)
+	}
+
+	if rec := get(t, h, "/query?metric=nope"); rec.Code != 404 {
+		t.Errorf("unknown metric: code %d, want 404", rec.Code)
+	}
+	if rec := get(t, h, "/query?metric=refs&res=5s"); rec.Code != 400 {
+		t.Errorf("bad res: code %d, want 400", rec.Code)
+	}
+	if rec := get(t, h, "/query?metric=refs&from=x"); rec.Code != 400 {
+		t.Errorf("bad from: code %d, want 400", rec.Code)
+	}
+}
+
+func TestHandleQueryNoTSDB(t *testing.T) {
+	srv, _, _ := testServer(t)
+	if rec := get(t, srv.Handler(), "/query"); rec.Code != 404 {
+		t.Errorf("no tsdb attached: code %d, want 404", rec.Code)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"onchip/internal/telemetry"
+	"onchip/internal/tsdb"
 )
 
 // Point is one time-series sample.
@@ -61,9 +62,15 @@ const DefaultSeriesDepth = 1024
 
 // Store holds one bounded sample window per metric, fed by periodic
 // registry snapshots. Safe for concurrent samplers and readers.
+//
+// Sample timestamps are run-relative monotonic: the first Observe pins
+// the wall clock and later ones advance by the monotonic difference
+// from it (clamped non-decreasing), so a wall-clock step mid-run cannot
+// produce out-of-order Point.UnixMs within a ring.
 type Store struct {
 	mu    sync.Mutex
 	depth int
+	clock tsdb.Clock
 	rings map[string]*ring
 }
 
@@ -83,9 +90,9 @@ func (s *Store) Observe(now time.Time, metrics []telemetry.Metric) {
 	if s == nil {
 		return
 	}
-	ms := now.UnixMilli()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	ms := s.clock.UnixMs(now)
 	for _, m := range metrics {
 		r, ok := s.rings[m.Name]
 		if !ok {
@@ -109,6 +116,29 @@ func (s *Store) Series(name string) ([]Point, bool) {
 		return nil, false
 	}
 	return r.points(), true
+}
+
+// SeriesSince returns the window points strictly newer than sinceMs,
+// oldest first: the incremental-poll cursor behind /series?since=. A
+// poller passes the last UnixMs it has seen and receives only the
+// increment instead of the full window each scrape.
+func (s *Store) SeriesSince(name string, sinceMs int64) ([]Point, bool) {
+	pts, ok := s.Series(name)
+	if !ok {
+		return nil, false
+	}
+	// Points are in non-decreasing UnixMs order (the monotonic clock
+	// guarantees it): binary search for the first point past the cursor.
+	lo, hi := 0, len(pts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pts[mid].UnixMs <= sinceMs {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return pts[lo:], true
 }
 
 // Names returns the metrics with at least one sample, sorted.

@@ -55,6 +55,46 @@ func TestStoreWindowEviction(t *testing.T) {
 	}
 }
 
+// TestStoreSeriesSince pins the incremental-poll cursor: strictly-newer
+// points only, empty (not missing) when the cursor is at the tip.
+func TestStoreSeriesSince(t *testing.T) {
+	s := NewStore(0)
+	t0 := time.UnixMilli(1000)
+	for i := 0; i < 5; i++ {
+		s.Observe(t0.Add(time.Duration(i)*time.Second), metricsAt(float64(i)))
+	}
+	if _, ok := s.SeriesSince("nope", 0); ok {
+		t.Error("unknown metric must report !ok")
+	}
+	pts, ok := s.SeriesSince("b.counter", 3000)
+	if !ok || len(pts) != 2 || pts[0].UnixMs != 4000 || pts[1].UnixMs != 5000 {
+		t.Fatalf("since 3000: %+v (ok=%v), want the 2 newer points", pts, ok)
+	}
+	if pts, _ := s.SeriesSince("b.counter", 0); len(pts) != 5 {
+		t.Errorf("since 0 = %d points, want full window", len(pts))
+	}
+	if pts, _ := s.SeriesSince("b.counter", 5000); len(pts) != 0 {
+		t.Errorf("cursor at tip = %+v, want empty increment", pts)
+	}
+}
+
+// TestStoreMonotonicTimestamps steps the wall clock backwards between
+// samples: stored timestamps must clamp, never go out of order.
+func TestStoreMonotonicTimestamps(t *testing.T) {
+	s := NewStore(0)
+	t0 := time.UnixMilli(10_000)
+	s.Observe(t0, metricsAt(0))
+	s.Observe(t0.Add(-time.Hour), metricsAt(1)) // wall step backwards
+	s.Observe(t0.Add(time.Second), metricsAt(2))
+	pts, _ := s.Series("b.counter")
+	want := []int64{10_000, 10_000, 11_000}
+	for i, p := range pts {
+		if p.UnixMs != want[i] {
+			t.Fatalf("timestamps = %+v, want %v", pts, want)
+		}
+	}
+}
+
 func TestStoreNilSafe(t *testing.T) {
 	var s *Store
 	s.Observe(time.Now(), metricsAt(1))

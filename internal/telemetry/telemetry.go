@@ -376,12 +376,22 @@ func (r *Registry) checkType(name, typ string) {
 
 // Snapshot returns all metrics sorted by name, for deterministic output.
 func (r *Registry) Snapshot() []Metric {
+	return r.SnapshotAppend(nil)
+}
+
+// SnapshotAppend appends all metrics, sorted by name, to dst and
+// returns the extended slice. Periodic samplers (the obs series
+// sampler, the tsdb write path) pass their previous slice truncated to
+// zero length so a steady-state scrape allocates nothing beyond what
+// the histogram bucket slices need.
+func (r *Registry) SnapshotAppend(dst []Metric) []Metric {
 	if r == nil {
-		return nil
+		return dst
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var out []Metric
+	start := len(dst)
+	out := dst
 	for name, c := range r.counters {
 		out = append(out, Metric{Name: name, Type: "counter", Help: c.help, Value: float64(c.Value())})
 	}
@@ -401,6 +411,7 @@ func (r *Registry) Snapshot() []Metric {
 		}
 		out = append(out, Metric{Name: name, Type: fm.typ, Help: fm.help, Value: sum})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	added := out[start:]
+	sort.Slice(added, func(i, j int) bool { return added[i].Name < added[j].Name })
 	return out
 }
