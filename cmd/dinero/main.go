@@ -36,6 +36,7 @@ import (
 	"onchip/internal/lifecycle"
 	"onchip/internal/machine"
 	"onchip/internal/obs"
+	"onchip/internal/spans"
 	"onchip/internal/telemetry"
 	"onchip/internal/tlb"
 	"onchip/internal/trace"
@@ -57,6 +58,9 @@ func main() {
 	wbEntries := flag.Int("wb", 4, "write buffer entries")
 	metricsFile := flag.String("metrics", "", "write run manifest and metrics as JSONL to this file")
 	serveAddr := flag.String("serve", "", "serve live observability endpoints on this address (e.g. :6060)")
+	spansFile := flag.String("spans", "", "write execution spans as Chrome trace-event JSON to this file (Perfetto-loadable)")
+	profSpan := flag.String("prof-span", "", "capture a CPU profile bracketed by the first span with this name (e.g. trace.replay)")
+	profSpanOut := flag.String("prof-span-out", "", "CPU profile output path for -prof-span (default span_<name>.pprof)")
 	skipCorrupt := flag.Bool("skip-corrupt", false, "skip corrupt trace records (counted and reported) instead of aborting")
 	retries := flag.Int("retries", 0, "retry transient read errors up to N times with exponential backoff")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection PRNG seed (deterministic schedule)")
@@ -116,6 +120,13 @@ func main() {
 		corrupts := cfg.Metrics.Counter("trace.corrupt_records", "corrupt trace records encountered")
 		r.OnCorrupt = func(*trace.CorruptError) { corrupts.Inc() }
 	}
+	spanTr, drainSpans, err := spans.Setup(ctx, "dinero", *spansFile, *profSpan, *profSpanOut, *serveAddr != "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer drainSpans()
+	spanTr.SetMetrics(cfg.Metrics)
 	man := &telemetry.Manifest{
 		Command:   "dinero",
 		Args:      os.Args[1:],
@@ -131,6 +142,7 @@ func main() {
 			Manifest: man,
 			KindName: machine.KindName,
 			CompName: machine.CompName,
+			Spans:    spanTr,
 		})
 		bound, err := srv.Start(*serveAddr)
 		if err != nil {
@@ -145,7 +157,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dinero:", err)
 		os.Exit(2)
 	}
+	replaySpan := spanTr.Lane("main").Start("trace.replay")
 	n, err := r.DrainContext(ctx, m)
+	replaySpan.End()
 	interrupted := errors.Is(err, context.Canceled)
 	if err != nil && !interrupted {
 		var ce *trace.CorruptError
@@ -203,6 +217,7 @@ func main() {
 		}
 	}
 	if interrupted {
+		drainSpans() // os.Exit skips defers; the trace still lands
 		os.Exit(lifecycle.InterruptExit)
 	}
 }

@@ -37,6 +37,14 @@
 //	                append-only shards, raw + 10s + 1m rollup tiers);
 //	                query later with "memalloc tsdb" or a fresh
 //	                process's /query endpoint
+//	-spans FILE     record hierarchical execution spans (per-workload
+//	                generation phases, per-worker sweep jobs, search,
+//	                checkpoint and tsdb writes) and write them as Chrome
+//	                trace-event JSON to FILE on exit; load the file in
+//	                Perfetto (ui.perfetto.dev) or chrome://tracing. With
+//	                -serve, GET /spans reports the live summary.
+//	-prof-span NAME capture a CPU profile bracketed exactly by the first
+//	                span named NAME (-prof-span-out sets the .pprof path)
 //
 // Fault tolerance (see DESIGN.md "Fault tolerance"):
 //
@@ -84,6 +92,7 @@ import (
 	"onchip/internal/lifecycle"
 	"onchip/internal/machine"
 	"onchip/internal/obs"
+	"onchip/internal/spans"
 	"onchip/internal/telemetry"
 	"onchip/internal/tsdb"
 )
@@ -100,6 +109,9 @@ func run() int {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	serveAddr := flag.String("serve", "", "serve live observability endpoints on this address (e.g. :6060)")
 	tsdbDir := flag.String("tsdb", "", "persist sampled metric series to this durable time-series store root (query with /query or \"memalloc tsdb\")")
+	spansFile := flag.String("spans", "", "write the run's execution spans as Chrome trace-event JSON to this file (load in Perfetto or chrome://tracing)")
+	profSpan := flag.String("prof-span", "", "capture a CPU profile bracketed by the first span with this name (e.g. sweep.model, search.enumerate)")
+	profSpanOut := flag.String("prof-span-out", "", "CPU profile output path for -prof-span (default span_<name>.pprof)")
 	checkpoint := flag.String("checkpoint", "", "persist design-space sweep state to this file (atomic, checksummed)")
 	resume := flag.String("resume", "", "resume a design-space sweep from this checkpoint file (implies -checkpoint to the same file)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection PRNG seed (deterministic schedule)")
@@ -177,6 +189,14 @@ func run() int {
 	if *progress {
 		opt.Progress = os.Stderr
 	}
+	spanTr, drainSpans, err := spans.Setup(ctx, "memalloc", *spansFile, *profSpan, *profSpanOut, *serveAddr != "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer drainSpans()
+	opt.Spans = spanTr
+	spanTr.SetMetrics(opt.Metrics) // span durations persist via /metrics and the tsdb
 
 	start := time.Now()
 	man := &telemetry.Manifest{
@@ -200,6 +220,7 @@ func run() int {
 			return 1
 		}
 		tsdbApp = app
+		app.SetSpans(spanTr.Lane("tsdb"))
 		// Flush-on-shutdown: a signal drains the appender's buffer and
 		// finalizes rollup windows the moment the context cancels, and
 		// the deferred trigger covers the normal exit (after the obs
@@ -216,6 +237,7 @@ func run() int {
 			CompName: machine.CompName,
 			TSDB:     tsdbApp,
 			TSDBRoot: *tsdbDir,
+			Spans:    spanTr,
 		})
 		if *serveAddr != "" {
 			bound, err := srv.Start(*serveAddr)
@@ -235,9 +257,12 @@ func run() int {
 	}
 	failed := false
 	interrupted := false
+	mainLane := spanTr.Lane("main")
 	for _, id := range ids {
 		t0 := time.Now()
+		expSpan := mainLane.Start("experiment." + id)
 		res, err := experiments.Run(id, opt)
+		expSpan.End()
 		if err != nil {
 			if errors.Is(err, context.Canceled) {
 				interrupted = true

@@ -23,6 +23,7 @@ import (
 	"onchip/internal/monitor"
 	"onchip/internal/obs"
 	"onchip/internal/osmodel"
+	"onchip/internal/spans"
 	"onchip/internal/telemetry"
 	"onchip/internal/workload"
 )
@@ -33,6 +34,9 @@ func main() {
 	suite := flag.Bool("suite", false, "run the whole suite under both OSes (Table 4)")
 	metricsFile := flag.String("metrics", "", "write run manifest and metrics as JSONL to this file")
 	serveAddr := flag.String("serve", "", "serve live observability endpoints on this address (e.g. :6060)")
+	spansFile := flag.String("spans", "", "write execution spans as Chrome trace-event JSON to this file (Perfetto-loadable)")
+	profSpan := flag.String("prof-span", "", "capture a CPU profile bracketed by the first span with this name (e.g. suite.Mach)")
+	profSpanOut := flag.String("prof-span-out", "", "CPU profile output path for -prof-span (default span_<name>.pprof)")
 	flag.Parse()
 
 	ctx, stopSignals := lifecycle.Notify(context.Background(), "monster", nil)
@@ -45,6 +49,13 @@ func main() {
 		reg = telemetry.NewRegistry()
 		cfg.Metrics = reg
 	}
+	spanTr, drainSpans, err := spans.Setup(ctx, "monster", *spansFile, *profSpan, *profSpanOut, *serveAddr != "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer drainSpans()
+	spanTr.SetMetrics(reg)
 	man := &telemetry.Manifest{
 		Command:   "monster",
 		Args:      os.Args[1:],
@@ -60,6 +71,7 @@ func main() {
 			Manifest: man,
 			KindName: machine.KindName,
 			CompName: machine.CompName,
+			Spans:    spanTr,
 		})
 		bound, err := srv.Start(*serveAddr)
 		if err != nil {
@@ -74,9 +86,12 @@ func main() {
 	// fully measured before the interrupt is printed, then the metrics
 	// snapshot below still covers everything printed.
 	interrupted := false
+	lane := spanTr.Lane("main")
 	if *suite {
 		for _, v := range []osmodel.Variant{osmodel.Ultrix, osmodel.Mach} {
+			span := lane.Start("suite." + v.String())
 			rows, err := monitor.MeasureSuiteContext(ctx, v, workload.All(), *refs, cfg)
+			span.End()
 			for _, row := range rows {
 				printRow(row)
 			}
@@ -91,17 +106,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, "monster:", err)
 			os.Exit(1)
 		}
-		measure := []func() monitor.Row{
-			func() monitor.Row { return monitor.MeasureUserOnly(spec, *refs, cfg) },
-			func() monitor.Row { return monitor.Measure(osmodel.Ultrix, spec, *refs, cfg) },
-			func() monitor.Row { return monitor.Measure(osmodel.Mach, spec, *refs, cfg) },
+		measure := []struct {
+			span string
+			run  func() monitor.Row
+		}{
+			{"measure.user-only", func() monitor.Row { return monitor.MeasureUserOnly(spec, *refs, cfg) }},
+			{"measure.Ultrix", func() monitor.Row { return monitor.Measure(osmodel.Ultrix, spec, *refs, cfg) }},
+			{"measure.Mach", func() monitor.Row { return monitor.Measure(osmodel.Mach, spec, *refs, cfg) }},
 		}
 		for _, m := range measure {
 			if ctx.Err() != nil {
 				interrupted = true
 				break
 			}
-			printRow(m())
+			span := lane.Start(m.span)
+			row := m.run()
+			span.End()
+			printRow(row)
 		}
 	}
 	if interrupted {
@@ -122,6 +143,7 @@ func main() {
 		}
 	}
 	if interrupted {
+		drainSpans() // os.Exit skips defers; the trace still lands
 		os.Exit(lifecycle.InterruptExit)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"onchip/internal/machine"
 	"onchip/internal/obs"
 	"onchip/internal/osmodel"
+	"onchip/internal/spans"
 	"onchip/internal/tapeworm"
 	"onchip/internal/telemetry"
 	"onchip/internal/tlb"
@@ -56,6 +57,9 @@ func main() {
 	refs := flag.Int("refs", 2_000_000, "references to simulate")
 	metricsFile := flag.String("metrics", "", "write run manifest and metrics as JSONL to this file")
 	serveAddr := flag.String("serve", "", "serve live observability endpoints on this address (e.g. :6060)")
+	spansFile := flag.String("spans", "", "write execution spans as Chrome trace-event JSON to this file (Perfetto-loadable)")
+	profSpan := flag.String("prof-span", "", "capture a CPU profile bracketed by the first span with this name (e.g. generate.measure)")
+	profSpanOut := flag.String("prof-span-out", "", "CPU profile output path for -prof-span (default span_<name>.pprof)")
 	flag.Parse()
 
 	spec, err := workload.ByName(*wl)
@@ -86,6 +90,9 @@ func main() {
 		}
 	}
 
+	ctx, stopSignals := lifecycle.Notify(context.Background(), "tapeworm", nil)
+	defer stopSignals()
+
 	start := time.Now()
 	hw := tlb.NewManaged(tlb.R2000(), tlb.DefaultCosts())
 	var reg *telemetry.Registry
@@ -93,6 +100,13 @@ func main() {
 		reg = telemetry.NewRegistry()
 		hw.Describe(reg, "tapeworm.hw_tlb")
 	}
+	spanTr, drainSpans, err := spans.Setup(ctx, "tapeworm", *spansFile, *profSpan, *profSpanOut, *serveAddr != "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer drainSpans()
+	spanTr.SetMetrics(reg)
 	man := &telemetry.Manifest{
 		Command:   "tapeworm",
 		Args:      os.Args[1:],
@@ -101,7 +115,7 @@ func main() {
 		Labels:    map[string]string{"workload": spec.Name, "os": v.String()},
 	}
 	if *serveAddr != "" {
-		srv := obs.New(obs.Config{Registry: reg, Manifest: man})
+		srv := obs.New(obs.Config{Registry: reg, Manifest: man, Spans: spanTr})
 		bound, err := srv.Start(*serveAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tapeworm: serve:", err)
@@ -125,22 +139,25 @@ func main() {
 		}
 		hw.Translate(r.Addr, r.ASID)
 	})
-	ctx, stopSignals := lifecycle.Notify(context.Background(), "tapeworm", nil)
-	defer stopSignals()
-
 	sys := osmodel.NewSystem(v, spec)
+	lane := spanTr.Lane("main")
+	warm := lane.Start("generate.warmup")
 	interrupted := !generateCtx(ctx, sys, *refs/3, sink) // warm-up
+	warm.End()
 	if !interrupted {
 		hw.ResetService()
 		tw.ResetServices()
 		instrs = 0
 		measuring = true
+		meas := lane.Start("generate.measure")
 		interrupted = !generateCtx(ctx, sys, *refs, sink)
+		meas.End()
 	}
 	if instrs == 0 {
 		// Interrupted before the measured window opened: there is
 		// nothing meaningful to scale or print.
 		fmt.Fprintln(os.Stderr, "tapeworm: interrupted during warm-up; no measurements")
+		drainSpans() // os.Exit skips defers; the trace still lands
 		os.Exit(lifecycle.InterruptExit)
 	}
 	if interrupted {
@@ -173,6 +190,7 @@ func main() {
 		}
 	}
 	if interrupted {
+		drainSpans() // os.Exit skips defers; the trace still lands
 		os.Exit(lifecycle.InterruptExit)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"onchip/internal/lifecycle"
 	"onchip/internal/obs"
 	"onchip/internal/osmodel"
+	"onchip/internal/spans"
 	"onchip/internal/telemetry"
 	"onchip/internal/trace"
 	"onchip/internal/workload"
@@ -35,6 +36,9 @@ func main() {
 	list := flag.Bool("list", false, "list workload names")
 	metricsFile := flag.String("metrics", "", "write run manifest and metrics as JSONL to this file")
 	serveAddr := flag.String("serve", "", "serve live observability endpoints on this address (e.g. :6060)")
+	spansFile := flag.String("spans", "", "write execution spans as Chrome trace-event JSON to this file (Perfetto-loadable)")
+	profSpan := flag.String("prof-span", "", "capture a CPU profile bracketed by the first span with this name (e.g. generate)")
+	profSpanOut := flag.String("prof-span-out", "", "CPU profile output path for -prof-span (default span_<name>.pprof)")
 	flag.Parse()
 
 	if *list {
@@ -59,6 +63,13 @@ func main() {
 	if *metricsFile != "" || *serveAddr != "" {
 		reg = telemetry.NewRegistry()
 	}
+	spanTr, drainSpans, err := spans.Setup(ctx, "tracegen", *spansFile, *profSpan, *profSpanOut, *serveAddr != "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer drainSpans()
+	spanTr.SetMetrics(reg)
 	man := &telemetry.Manifest{
 		Command:   "tracegen",
 		Args:      os.Args[1:],
@@ -67,7 +78,7 @@ func main() {
 		Labels:    map[string]string{"workload": *wl, "os": *osName},
 	}
 	if *serveAddr != "" {
-		srv := obs.New(obs.Config{Registry: reg, Manifest: man})
+		srv := obs.New(obs.Config{Registry: reg, Manifest: man, Spans: spanTr})
 		bound, err := srv.Start(*serveAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tracegen: serve:", err)
@@ -76,7 +87,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "tracegen: observability plane on http://%s/\n", bound)
 	}
-	genErr := generate(ctx, *wl, *osName, *refs, *out, reg)
+	genErr := generate(ctx, *wl, *osName, *refs, *out, reg, spanTr.Lane("main"))
 	interrupted := errors.Is(genErr, context.Canceled)
 	if genErr != nil && !interrupted {
 		fmt.Fprintln(os.Stderr, "tracegen:", genErr)
@@ -99,6 +110,7 @@ func main() {
 		}
 	}
 	if interrupted {
+		drainSpans() // os.Exit skips defers; the trace still lands
 		os.Exit(lifecycle.InterruptExit)
 	}
 }
@@ -118,7 +130,7 @@ func variant(name string) (osmodel.Variant, error) {
 // slice stopped, so chunking does not change the generated stream.
 const genChunk = 1 << 20
 
-func generate(ctx context.Context, wl, osName string, refs int, out string, reg *telemetry.Registry) error {
+func generate(ctx context.Context, wl, osName string, refs int, out string, reg *telemetry.Registry, lane *spans.Lane) error {
 	spec, err := workload.ByName(wl)
 	if err != nil {
 		return err
@@ -151,6 +163,7 @@ func generate(ctx context.Context, wl, osName string, refs int, out string, reg 
 	sys.SetMetrics(reg)
 	var gen osmodel.GenStats
 	interrupted := false
+	span := lane.Start("generate")
 	for done := 0; done < refs; {
 		if ctx.Err() != nil {
 			interrupted = true
@@ -160,9 +173,12 @@ func generate(ctx context.Context, wl, osName string, refs int, out string, reg 
 		if n > genChunk {
 			n = genChunk
 		}
+		chunk := lane.Start("generate.chunk")
 		gen = sys.Run(n, sinks)
+		chunk.End()
 		done += n
 	}
+	span.End()
 	// Flush even on interrupt so the partial trace file is well-formed
 	// and replayable (the header is written up front; records are
 	// fixed-width, so any flushed prefix parses cleanly).

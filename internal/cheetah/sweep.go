@@ -93,3 +93,16 @@ func (s *Sweep) Simulators() int { return len(s.simList) }
 // deterministic, so concurrent groups give bit-identical results as
 // long as every group sees the full stream in order).
 func (s *Sweep) Groups() []*AllAssoc { return s.simList }
+
+// GroupCount reports how many distinct (set count, line size) simulator
+// groups the configurations collapse into -- the per-stream group count
+// a Sweep or DataSweep over the same configurations will run, available
+// without building the simulators. Callers sizing a worker pool use it
+// to avoid spinning workers that could never receive a group.
+func GroupCount(configs []area.CacheConfig) int {
+	seen := make(map[[2]int]struct{}, len(configs))
+	for _, c := range configs {
+		seen[[2]int{c.Sets(), c.LineWords}] = struct{}{}
+	}
+	return len(seen)
+}

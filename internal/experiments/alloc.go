@@ -11,6 +11,7 @@ import (
 
 	"onchip/internal/area"
 	"onchip/internal/cache"
+	"onchip/internal/cheetah"
 	"onchip/internal/faultinject"
 	"onchip/internal/osmodel"
 	"onchip/internal/report"
@@ -71,7 +72,11 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) (*search.
 	stageTapeworm := tapewormStageGauge(opt)
 
 	ctx := opt.ctx()
-	workers := sweepWorkers(len(specs))
+	// Each workload prices both streams, so the pool can use at most
+	// twice the per-stream group count before workers sit idle.
+	workers := sweepWorkers(len(specs), 2*cheetah.GroupCount(cacheCfgs))
+	opt.Metrics.Gauge("sweep.workers",
+		"group-pool workers per workload sweep (clamped to shard groups)").Set(float64(workers))
 
 	// sweepWorkload runs one workload's sweep, reporting any panic
 	// (injected or real) as an error so one bad run degrades to a
@@ -101,7 +106,14 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) (*search.
 		}()
 		opt.FaultInjector.MaybePanic("sweep/" + spec.Name)
 
-		engine = newSweepEngine(cacheCfgs, 8, workers)
+		// The workload's generation phases record on one lane per
+		// workload; the enclosing span also re-levels the lane stack if a
+		// panic below leaves phase spans open, so a retry starts clean.
+		lane := opt.Spans.Lane("workload/" + spec.Name)
+		wl := lane.Start("sweep.workload")
+		defer wl.End()
+
+		engine = newSweepEngine(cacheCfgs, 8, workers, opt.Spans, "sweep/"+spec.Name)
 		defer engine.close()
 		hw := tlb.NewManaged(tlb.R2000(), tlb.DefaultCosts())
 		tw := tapeworm.Attach(hw, tlbConfigs...)
@@ -111,7 +123,9 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) (*search.
 
 		start := time.Now()
 		// Phase 1: to the tapeworm warm-up boundary E1.
+		warm := lane.Start("generate.warmup")
 		e1 := sys.Generate(refsEach/3, both)
+		warm.End()
 		if ctx.Err() != nil {
 			return nil, nil, 0, 0, ctx.Err()
 		}
@@ -121,10 +135,12 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) (*search.
 		// Phase 2: to the cache sweeps' boundary E (e1 can already be
 		// past it when iterations are long; Generate must only be asked
 		// for a positive count).
+		measure := lane.Start("generate.measure")
 		total := e1
 		if refsEach > total {
 			total += sys.Generate(refsEach-total, both)
 		}
+		measure.End()
 		if ctx.Err() != nil {
 			return nil, nil, 0, 0, ctx.Err()
 		}
@@ -134,11 +150,13 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) (*search.
 
 		// Phase 3: tapeworm-only tail to its measurement boundary E2.
 		start = time.Now()
+		tw3 := lane.Start("tapeworm.tail")
 		tail := meterRefs(trace.Sink(tsink), refsStreamed)
 		if n := e1 + refsEach - total; n > 0 {
 			sys.Generate(n, tail)
 		}
 		flushMeter(tail)
+		tw3.End()
 		tailSec = time.Since(start).Seconds()
 		stageTapeworm.Add(tailSec)
 		return engine, tw.Results(), modelSec, tailSec, nil
@@ -288,7 +306,13 @@ func flushMeter(s trace.Sink) {
 
 func runAllocation(opt Options, space search.Space, id, title string, extraNotes []string) (Result, error) {
 	refs := opt.refs(defaultSweepRefs)
+	// Experiments run on the caller's goroutine, so the phase spans
+	// share its lane and nest under whatever span the caller has open
+	// (the binaries open "experiment.<id>").
+	lane := opt.Spans.Lane("main")
+	modelSpan := lane.Start("sweep.model")
 	model, failedWorkloads, err := buildMeasuredModel(space, refs, opt)
+	modelSpan.End()
 	if err != nil {
 		return Result{}, fmt.Errorf("model-building sweep: %w", err)
 	}
@@ -297,7 +321,7 @@ func runAllocation(opt Options, space search.Space, id, title string, extraNotes
 	// exact model values, so a resume against a different refs count or
 	// a differently-degraded model is refused, not silently wrong.
 	label := fmt.Sprintf("%s/refs=%d", id, refs)
-	searchOpts := []search.Option{search.WithContext(opt.ctx())}
+	searchOpts := []search.Option{search.WithContext(opt.ctx()), search.WithSpans(lane)}
 	if opt.Progress != nil || opt.SweepObserver != nil {
 		searchOpts = append(searchOpts, search.WithProgress(0, func(p search.Progress) {
 			if opt.Progress != nil {
@@ -330,7 +354,9 @@ func runAllocation(opt Options, space search.Space, id, title string, extraNotes
 			Add(uint64(cp.PairsDone))
 	}
 	searchStart := time.Now()
+	searchSpan := lane.Start("search.enumerate")
 	allocs, err := search.EnumerateE(space, area.Default(), area.BudgetRBE, model, searchOpts...)
+	searchSpan.End()
 	opt.Metrics.Gauge("sweep.stage_seconds.search",
 		"wall-clock seconds enumerating and pricing allocations").Add(time.Since(searchStart).Seconds())
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 
 	"onchip/internal/faultinject"
 	"onchip/internal/search"
+	"onchip/internal/spans"
 	"onchip/internal/telemetry"
 )
 
@@ -31,6 +32,11 @@ type Options struct {
 	// experiments that run a timing machine (the Monster capture
 	// window).
 	Tracer *telemetry.Tracer
+	// Spans, when non-nil, records hierarchical execution spans across
+	// the pipeline: per-workload generation phases, per-worker group-pool
+	// jobs, search enumeration, and checkpoint writes. Nil (the default)
+	// records nothing and keeps the hot paths untouched.
+	Spans *spans.Tracer
 	// Progress, when non-nil, receives live progress lines (one per
 	// write, newline-terminated): suite measurements as they finish and
 	// design-space sweep/enumeration progress with ETA.

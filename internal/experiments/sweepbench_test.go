@@ -6,9 +6,12 @@ import (
 	"testing"
 	"time"
 
+	"onchip/internal/area"
 	"onchip/internal/osmodel"
 	"onchip/internal/search"
+	"onchip/internal/spans"
 	"onchip/internal/tapeworm"
+	"onchip/internal/telemetry"
 	"onchip/internal/tlb"
 	"onchip/internal/trace"
 	"onchip/internal/workload"
@@ -44,14 +47,14 @@ func replay(b *testing.B, stream []trace.Ref, sink trace.Sink) {
 // the full Table 5 cache space.
 func BenchmarkSweepEngine(b *testing.B) {
 	stream := recordStream(200_000)
-	engine := newSweepEngine(search.Table5().CacheConfigs(), 8, 1)
+	engine := newSweepEngine(search.Table5().CacheConfigs(), 8, 1, nil, "")
 	replay(b, stream, engine)
 }
 
 // BenchmarkSweepEngineParallel is the same engine with its group pool.
 func BenchmarkSweepEngineParallel(b *testing.B) {
 	stream := recordStream(200_000)
-	engine := newSweepEngine(search.Table5().CacheConfigs(), 8, sweepWorkers(1))
+	engine := newSweepEngine(search.Table5().CacheConfigs(), 8, sweepWorkers(1, 0), nil, "")
 	defer engine.close()
 	replay(b, stream, engine)
 }
@@ -78,6 +81,50 @@ type sweepBenchStats struct {
 	Speedup          float64 `json:"speedup"`
 	LegacyNsPerRef   float64 `json:"legacy_ns_per_ref"`
 	EngineNsPerRef   float64 `json:"engine_ns_per_ref"`
+
+	// Span-tracing overhead: the same fused sweep re-run with a live
+	// tracer (phase lanes, per-job worker spans, telemetry folding), as
+	// -spans wires it. OverheadPct is (spans-on / spans-off - 1) * 100.
+	EngineSpansSeconds float64 `json:"engine_spans_seconds"`
+	SpansRefsPerSec    float64 `json:"spans_refs_per_sec"`
+	SpansOverheadPct   float64 `json:"spans_overhead_pct"`
+	SpansRecorded      int     `json:"spans_recorded"`
+}
+
+// timeFusedSweep runs one workload's fused model-building sweep (the
+// production warm-up/measure plan against the engine + tapeworm tee)
+// and returns the engine and the elapsed seconds. A non-nil tracer
+// instruments it exactly the way sweepWorkload does: workload-lane
+// phase spans plus the engine's per-job worker-lane spans.
+func timeFusedSweep(spec osmodel.WorkloadSpec, cacheCfgs []area.CacheConfig, tlbConfigs []tlb.Config, refsEach, workers int, tr *spans.Tracer) (*sweepEngine, float64) {
+	start := time.Now()
+	lane := tr.Lane("workload/" + spec.Name)
+	wl := lane.Start("sweep.workload")
+	engine := newSweepEngine(cacheCfgs, 8, workers, tr, "sweep/"+spec.Name)
+	hw := tlb.NewManaged(tlb.R2000(), tlb.DefaultCosts())
+	tw := tapeworm.Attach(hw, tlbConfigs...)
+	tsink := &tlbOnly{hw: hw}
+	sys := osmodel.NewSystem(osmodel.Mach, spec)
+	tee := trace.Tee{engine, tsink}
+	warm := lane.Start("generate.warmup")
+	e1 := sys.Generate(refsEach/3, tee)
+	warm.End()
+	hw.ResetService()
+	tw.ResetServices()
+	tsink.instrs = 0
+	total := e1
+	meas := lane.Start("generate.measure")
+	if refsEach > total {
+		total += sys.Generate(refsEach-total, tee)
+	}
+	meas.End()
+	if n := e1 + refsEach - total; n > 0 {
+		tail := lane.Start("tapeworm.tail")
+		sys.Generate(n, tsink)
+		tail.End()
+	}
+	wl.End()
+	return engine, time.Since(start).Seconds()
 }
 
 // TestSweepBenchArtifact times one workload's complete model-building
@@ -110,33 +157,27 @@ func TestSweepBenchArtifact(t *testing.T) {
 	// Fused: one generation, batched, parallel groups (the sweep runs
 	// one workload here, so the pool gets the whole machine, as it
 	// would per-workload share it in the real sweep).
-	workers := sweepWorkers(1)
-	engineStart := time.Now()
-	engine := newSweepEngine(cacheCfgs, 8, workers)
+	workers := sweepWorkers(1, 0)
+	engine, engineSec := timeFusedSweep(spec, cacheCfgs, tlbConfigs, refsEach, workers, nil)
 	defer engine.close()
-	hw := tlb.NewManaged(tlb.R2000(), tlb.DefaultCosts())
-	tw := tapeworm.Attach(hw, tlbConfigs...)
-	tsink := &tlbOnly{hw: hw}
-	sys := osmodel.NewSystem(osmodel.Mach, spec)
-	tee := trace.Tee{engine, tsink}
-	e1 := sys.Generate(refsEach/3, tee)
-	hw.ResetService()
-	tw.ResetServices()
-	tsink.instrs = 0
-	total := e1
-	if refsEach > total {
-		total += sys.Generate(refsEach-total, tee)
-	}
-	if n := e1 + refsEach - total; n > 0 {
-		sys.Generate(n, tsink)
-	}
-	engineSec := time.Since(engineStart).Seconds()
 
 	// Sanity: the two paths must agree before their timings mean
 	// anything.
 	for i, c := range cacheCfgs {
 		if engine.iMisses(c) != isweep.misses(c) || engine.dReadMisses(c) != direct.caches[i].Stats().ReadMisses {
 			t.Fatalf("%v: fused and legacy sweeps disagree; timings are meaningless", c)
+		}
+	}
+
+	// Spans on: the identical fused sweep under a live tracer with
+	// telemetry folding, measuring what -spans costs end to end.
+	tracer := spans.New(0)
+	tracer.SetMetrics(telemetry.NewRegistry())
+	spansEngine, spansSec := timeFusedSweep(spec, cacheCfgs, tlbConfigs, refsEach, workers, tracer)
+	spansEngine.close()
+	for _, c := range cacheCfgs {
+		if spansEngine.iMisses(c) != engine.iMisses(c) || spansEngine.dReadMisses(c) != engine.dReadMisses(c) {
+			t.Fatalf("%v: traced and untraced sweeps disagree; overhead is meaningless", c)
 		}
 	}
 
@@ -152,6 +193,11 @@ func TestSweepBenchArtifact(t *testing.T) {
 		Speedup:          legacySec / engineSec,
 		LegacyNsPerRef:   legacySec * 1e9 / float64(refsEach),
 		EngineNsPerRef:   engineSec * 1e9 / float64(refsEach),
+
+		EngineSpansSeconds: spansSec,
+		SpansRefsPerSec:    float64(refsEach) / spansSec,
+		SpansOverheadPct:   (spansSec/engineSec - 1) * 100,
+		SpansRecorded:      len(tracer.Records()),
 	}
 	data, err := json.MarshalIndent(stats, "", "  ")
 	if err != nil {
@@ -160,6 +206,6 @@ func TestSweepBenchArtifact(t *testing.T) {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("model-building sweep at %d refs: legacy %.2fs, fused %.2fs (%.1fx, %d workers) -> %s",
-		refsEach, legacySec, engineSec, stats.Speedup, workers, path)
+	t.Logf("model-building sweep at %d refs: legacy %.2fs, fused %.2fs (%.1fx, %d workers), spans on %.2fs (%+.1f%%, %d spans) -> %s",
+		refsEach, legacySec, engineSec, stats.Speedup, workers, spansSec, stats.SpansOverheadPct, stats.SpansRecorded, path)
 }

@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 
 	"onchip/internal/area"
 	"onchip/internal/cheetah"
+	"onchip/internal/spans"
 	"onchip/internal/trace"
 	"onchip/internal/vm"
 )
@@ -40,8 +42,12 @@ type sweepEngine struct {
 // sweepWorkers sizes the per-workload group pool: the model-building
 // sweep already runs `concurrent` workloads in parallel, so each
 // workload gets its share of the machine and parallelism inside a
-// workload only helps when cores would otherwise idle.
-func sweepWorkers(concurrent int) int {
+// workload only helps when cores would otherwise idle. The result is
+// additionally clamped to `groups`, the number of independent simulator
+// shards the pool could hand out (per cheetah.GroupCount, I- plus
+// D-stream), so tiny sweeps don't spin workers that would only ever
+// block on the batch barrier.
+func sweepWorkers(concurrent, groups int) int {
 	if concurrent < 1 {
 		concurrent = 1
 	}
@@ -49,13 +55,19 @@ func sweepWorkers(concurrent int) int {
 	if w < 1 {
 		w = 1
 	}
+	if groups > 0 && w > groups {
+		w = groups
+	}
 	return w
 }
 
 // newSweepEngine builds the fused engine over the configurations. With
 // workers > 1 it starts a group pool; callers must close() the engine
-// when done with it.
-func newSweepEngine(configs []area.CacheConfig, maxAssoc, workers int) *sweepEngine {
+// when done with it. A non-nil tracer gives each pool worker a lane
+// named "<lanePrefix>.worker.<N>" recording one span per consumed
+// batch, which feeds the /spans per-worker utilization and
+// shard-imbalance summary; a nil tracer records nothing.
+func newSweepEngine(configs []area.CacheConfig, maxAssoc, workers int, tr *spans.Tracer, lanePrefix string) *sweepEngine {
 	e := &sweepEngine{
 		i: cheetah.NewSweep(configs, maxAssoc),
 		d: cheetah.NewDataSweep(configs),
@@ -64,7 +76,7 @@ func newSweepEngine(configs []area.CacheConfig, maxAssoc, workers int) *sweepEng
 		workers = groups
 	}
 	if workers > 1 {
-		e.pool = newGroupPool(e.i.Groups(), e.d.Groups(), workers)
+		e.pool = newGroupPool(e.i.Groups(), e.d.Groups(), workers, tr, lanePrefix)
 	}
 	return e
 }
@@ -131,7 +143,7 @@ type groupShard struct {
 	d []*cheetah.AllAssocData
 }
 
-func newGroupPool(igroups []*cheetah.AllAssoc, dgroups []*cheetah.AllAssocData, workers int) *groupPool {
+func newGroupPool(igroups []*cheetah.AllAssoc, dgroups []*cheetah.AllAssocData, workers int, tr *spans.Tracer, lanePrefix string) *groupPool {
 	// Round-robin the groups across shards, continuing the rotation from
 	// the I-groups into the D-groups so no shard collects a systematic
 	// excess of either kind.
@@ -148,32 +160,46 @@ func newGroupPool(igroups []*cheetah.AllAssoc, dgroups []*cheetah.AllAssocData, 
 		ch := make(chan groupJob)
 		p.chans = append(p.chans, ch)
 		p.exited.Add(1)
-		go p.worker(w, shards[w], ch)
+		ws := workerState{w: w, shard: shards[w],
+			lane: tr.WorkerLane(lanePrefix + ".worker." + strconv.Itoa(w))}
+		go p.worker(ws, ch)
 	}
 	return p
 }
 
-func (p *groupPool) worker(w int, sh groupShard, ch chan groupJob) {
+// workerState pairs a worker's shard with its span lane (nil when
+// untraced).
+type workerState struct {
+	w     int
+	shard groupShard
+	lane  *spans.Lane
+}
+
+func (p *groupPool) worker(ws workerState, ch chan groupJob) {
 	defer p.exited.Done()
 	for job := range ch {
-		p.consume(w, sh, job)
+		p.consume(ws, job)
 	}
 }
 
 // consume runs one job, capturing a panic into the worker's slot so run
 // can re-raise it on the calling goroutine (where the sweep's fault
-// recovery can see it) instead of crashing the process.
-func (p *groupPool) consume(w int, sh groupShard, job groupJob) {
+// recovery can see it) instead of crashing the process. Each job is one
+// top-level span on the worker's lane, so lane busy time sums to the
+// worker's real simulation time.
+func (p *groupPool) consume(ws workerState, job groupJob) {
+	span := ws.lane.Start("sweep.job")
 	defer func() {
 		if v := recover(); v != nil {
-			p.panics[w] = v
+			p.panics[ws.w] = v
 		}
+		span.End()
 		p.batch.Done()
 	}()
-	for _, g := range sh.i {
+	for _, g := range ws.shard.i {
 		g.AccessKeys(job.ikeys)
 	}
-	for _, g := range sh.d {
+	for _, g := range ws.shard.d {
 		g.AccessPacked(job.dkeys)
 	}
 }

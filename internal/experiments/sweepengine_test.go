@@ -78,7 +78,7 @@ func TestFusedSweepMatchesLegacyPasses(t *testing.T) {
 	legacyTW, _ := runTapeworm(osmodel.Mach, spec, refsEach, tlbConfigs, nil)
 
 	// Fused: one generation, batched, parallel simulator groups.
-	engine := newSweepEngine(cacheCfgs, 8, 4)
+	engine := newSweepEngine(cacheCfgs, 8, 4, nil, "")
 	defer engine.close()
 	hw := tlb.NewManaged(tlb.R2000(), tlb.DefaultCosts())
 	tw := tapeworm.Attach(hw, tlbConfigs...)
@@ -122,8 +122,8 @@ func TestFusedSweepMatchesLegacyPasses(t *testing.T) {
 // engine.
 func TestSweepEngineParallelMatchesSerial(t *testing.T) {
 	cacheCfgs := search.Table5().CacheConfigs()
-	serial := newSweepEngine(cacheCfgs, 8, 1)
-	parallel := newSweepEngine(cacheCfgs, 8, 6)
+	serial := newSweepEngine(cacheCfgs, 8, 1, nil, "")
+	parallel := newSweepEngine(cacheCfgs, 8, 6, nil, "")
 	defer parallel.close()
 	sinks := trace.Tee{serial, parallel}
 	osmodel.NewSystem(osmodel.Mach, workload.MAB()).Generate(60_000, sinks)

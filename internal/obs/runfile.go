@@ -6,7 +6,6 @@ import (
 	"math"
 	"os"
 	"sort"
-	"strings"
 	"time"
 
 	"onchip/internal/report"
@@ -102,10 +101,12 @@ type Delta struct {
 // "presence"). An empty result means the runs agree to within the
 // threshold — the determinism check CI relies on.
 //
-// Metrics whose name contains "_seconds" are wall-clock timings
-// (sweep.stage_seconds.*): machine- and load-dependent by nature, so
-// they are excluded from the comparison entirely. Everything else the
-// simulators publish is a deterministic function of the inputs.
+// Wall-clock metrics (per telemetry.IsWallClock: names containing
+// "_seconds" such as sweep.stage_seconds.*, and the span.* duration
+// folds) are machine- and load-dependent by nature, so they are
+// excluded from the comparison entirely. Everything else the simulators
+// publish is a deterministic function of the inputs; the tsdb trend
+// gate applies the same predicate.
 func Compare(a, b Run, threshold float64) []Delta {
 	am := indexMetrics(a.Metrics)
 	bm := indexMetrics(b.Metrics)
@@ -124,7 +125,7 @@ func Compare(a, b Run, threshold float64) []Delta {
 		}
 	}
 	for name := range names {
-		if strings.Contains(name, "_seconds") {
+		if telemetry.IsWallClock(name) {
 			continue
 		}
 		ma, oka := am[name]

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"onchip/internal/search"
+	"onchip/internal/spans"
 	"onchip/internal/telemetry"
 	"onchip/internal/tsdb"
 )
@@ -43,6 +44,12 @@ type Config struct {
 	// TSDBRoot, when non-empty, is the store root /query serves
 	// historical runs from (usually the directory TSDB writes under).
 	TSDBRoot string
+	// Spans, when non-nil, is the run's execution-span tracer: /spans
+	// serves its live summary (per-phase self-time, per-worker
+	// utilization, shard imbalance, open spans) or, with ?format=chrome,
+	// the full Chrome trace-event JSON. The sampler also records each of
+	// its own scrapes as an "obs.sample" span on the "obs" lane.
+	Spans *spans.Tracer
 }
 
 // Server is the embeddable observability endpoint. Create one with New,
@@ -182,6 +189,7 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) sampleLoop() {
+	lane := s.cfg.Spans.Lane("obs")
 	tick := time.NewTicker(s.cfg.SampleEvery)
 	defer tick.Stop()
 	for {
@@ -189,7 +197,9 @@ func (s *Server) sampleLoop() {
 		case <-s.done:
 			return
 		case now := <-tick.C:
+			span := lane.Start("obs.sample")
 			s.Sample(now)
+			span.End()
 		}
 	}
 }
@@ -213,6 +223,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/sweep", s.handleSweep)
 	mux.HandleFunc("/series", s.handleSeries)
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/spans", s.handleSpans)
 	return mux
 }
 
@@ -230,6 +241,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /series    sampled time series (?metric=NAME, ?since=UNIX_MS cursor; bare lists names)
   /query     durable tsdb series, live + historical runs
              (?metric=NAME, ?res=raw|10s|1m, ?from=MS, ?to=MS, ?run=ID; bare lists runs)
+  /spans     execution-span summary: phase self-time, worker utilization,
+             shard imbalance, open spans (?format=chrome downloads the trace)
 `)
 }
 
@@ -376,6 +389,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, series)
+}
+
+// handleSpans serves the execution-span tracer: the default JSON body
+// is the live Summary (per-phase total/self time, per-lane utilization
+// with the group pool's worker lanes, shard-imbalance ratio, and the
+// open-span tree); ?format=chrome streams the full Chrome trace-event
+// JSON for Perfetto, current to the moment of the request.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Spans == nil {
+		http.Error(w, "no span tracer attached to this run (start with -spans FILE or -serve)", http.StatusNotFound)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "summary":
+		writeJSON(w, s.cfg.Spans.Summarize())
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="spans.trace.json"`)
+		s.cfg.Spans.WriteChromeTrace(w)
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (want summary or chrome)", format), http.StatusBadRequest)
+	}
 }
 
 // flushLive pushes the live appender's buffer to disk before a read of

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"onchip/internal/area"
+	"onchip/internal/spans"
 )
 
 // Space is the configuration space to enumerate (the paper's Table 5).
@@ -148,6 +149,7 @@ type options struct {
 	cpEvery       int
 	onCheckpoint  func(*Checkpoint)
 	resume        *Checkpoint
+	lane          *spans.Lane
 }
 
 // WithProgress installs a callback that receives sweep progress roughly
@@ -186,6 +188,13 @@ func WithCheckpoint(path, label string, every int) Option {
 // here).
 func WithCheckpointObserver(f func(*Checkpoint)) Option {
 	return func(o *options) { o.onCheckpoint = f }
+}
+
+// WithSpans records checkpoint writes as "checkpoint.write" spans on
+// the given lane (the caller's lane, since EnumerateE runs and
+// checkpoints on the calling goroutine). A nil lane records nothing.
+func WithSpans(lane *spans.Lane) Option {
+	return func(o *options) { o.lane = lane }
 }
 
 // WithResume seeds the enumeration from a previously-saved checkpoint:
@@ -314,7 +323,10 @@ func EnumerateE(space Space, am area.Model, budget float64, pm PerfModel, opts .
 			Priced:    priced,
 			Kept:      out,
 		}
-		if err := cp.Save(o.cpPath); err != nil {
+		span := o.lane.Start("checkpoint.write")
+		err := cp.Save(o.cpPath)
+		span.End()
+		if err != nil {
 			return err
 		}
 		if o.onCheckpoint != nil {

@@ -1,0 +1,116 @@
+package spans
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteChromeTrace renders the tracer's spans as Chrome trace-event
+// JSON (the "JSON Array Format" with the traceEvents envelope), which
+// Perfetto and chrome://tracing load directly. Lanes become threads of
+// one process, named and ordered by thread_name/thread_sort_index
+// metadata events; completed spans become complete ("X") events with
+// microsecond timestamps relative to the tracer epoch; spans still open
+// at write time become begin ("B") events so a live download shows
+// in-flight work. Event order is deterministic for a deterministic span
+// structure: metadata by lane id, then spans by start time and id.
+//
+// Safe to call while lanes are still recording (the written trace is a
+// consistent point-in-time copy). A nil tracer writes an empty trace.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	var recs []Record
+	var lanes []string
+	var open []openInfo
+	if t != nil {
+		t.mu.Lock()
+		recs = append(recs, t.recs...)
+		for _, l := range t.lanes {
+			lanes = append(lanes, l.name)
+		}
+		for _, s := range t.open {
+			open = append(open, openInfo{id: s.id, parent: s.parent, lane: s.lane.id, name: s.name, start: s.start})
+		}
+		t.mu.Unlock()
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Start != recs[j].Start {
+			return recs[i].Start < recs[j].Start
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	sort.Slice(open, func(i, j int) bool {
+		if open[i].start != open[j].start {
+			return open[i].start < open[j].start
+		}
+		return open[i].id < open[j].id
+	})
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+	for id, name := range lanes {
+		emit(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%q}}`, id+1, name)
+		emit(`{"ph":"M","pid":1,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`, id+1, id)
+	}
+	for _, r := range recs {
+		emit(`{"ph":"X","pid":1,"tid":%d,"name":%q,"cat":"span","ts":%.3f,"dur":%.3f,"args":{"id":%d,"parent":%d}}`,
+			r.Lane+1, r.Name, us(r.Start), us(r.Dur), r.ID, r.Parent)
+	}
+	for _, s := range open {
+		emit(`{"ph":"B","pid":1,"tid":%d,"name":%q,"cat":"span","ts":%.3f,"args":{"id":%d,"parent":%d}}`,
+			s.lane+1, s.name, us(s.start), s.id, s.parent)
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+type openInfo struct {
+	id, parent uint64
+	lane       int
+	name       string
+	start      time.Duration
+}
+
+// us converts a tracer-relative duration to trace-event microseconds.
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteFile stops any still-running bracketed CPU profile and persists
+// the tracer's spans as Chrome trace-event JSON at path -- the -spans
+// flag's shutdown drain. A nil tracer writes an empty, valid trace.
+func WriteFile(path string, t *Tracer) error {
+	t.StopProfile()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// SanitizeProfileName maps a span name to a file-name-safe fragment for
+// the default -prof-span-out path.
+func SanitizeProfileName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '_'
+	}, name)
+}

@@ -1,0 +1,60 @@
+package spans
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"onchip/internal/lifecycle"
+)
+
+// Setup is the shared -spans / -prof-span wiring of the binaries: it
+// builds the tracer those flags (or a live -serve plane wanting /spans)
+// ask for and arms a shutdown drain through the lifecycle package, so
+// both a SIGINT and a normal exit stop any bracketed CPU profile and
+// persist the Chrome trace.
+//
+// spansFile, when non-empty, is where the drain writes the trace-event
+// JSON. profSpan, when non-empty, names the span that brackets a CPU
+// profile into profOut (default "span_<name>.pprof"); if the span never
+// runs, the empty profile file is removed at drain time. serve forces a
+// tracer even without the file flags, so /spans has something to show.
+//
+// The returned drain is idempotent and must be deferred by the caller;
+// it also runs automatically when ctx is cancelled. With no flag set
+// and serve false, the tracer is nil (recording nothing) and the drain
+// a no-op.
+func Setup(ctx context.Context, name, spansFile, profSpan, profOut string, serve bool) (*Tracer, func(), error) {
+	if spansFile == "" && profSpan == "" && !serve {
+		return nil, func() {}, nil
+	}
+	t := New(0)
+	if profSpan != "" {
+		if profOut == "" {
+			profOut = "span_" + SanitizeProfileName(profSpan) + ".pprof"
+		}
+		f, err := os.Create(profOut)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: -prof-span-out: %w", name, err)
+		}
+		t.ProfileSpan(profSpan, f)
+	}
+	drain := lifecycle.OnShutdown(ctx, name+": spans", nil, func() error {
+		t.StopProfile()
+		if profSpan != "" {
+			// A bracket that never triggered leaves a zero-byte profile;
+			// remove it rather than hand the user an unloadable file.
+			if st, err := os.Stat(profOut); err == nil && st.Size() == 0 {
+				os.Remove(profOut)
+			}
+		}
+		if spansFile == "" {
+			return nil
+		}
+		if err := WriteFile(spansFile, t); err != nil {
+			return fmt.Errorf("writing %s: %w", spansFile, err)
+		}
+		return nil
+	})
+	return t, drain, nil
+}

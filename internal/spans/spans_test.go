@@ -1,0 +1,386 @@
+package spans
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"onchip/internal/telemetry"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	l := tr.Lane("main")
+	if l != nil {
+		t.Fatalf("nil tracer returned non-nil lane")
+	}
+	if w := tr.WorkerLane("w"); w != nil {
+		t.Fatalf("nil tracer returned non-nil worker lane")
+	}
+	s := l.Start("work")
+	if s != nil {
+		t.Fatalf("nil lane returned non-nil span")
+	}
+	s.End() // must not panic
+	tr.SetMetrics(telemetry.NewRegistry())
+	tr.ProfileSpan("x", nil)
+	tr.StopProfile()
+	if got := tr.Records(); got != nil {
+		t.Fatalf("nil tracer Records = %v, want nil", got)
+	}
+	if got := tr.Dropped(); got != 0 {
+		t.Fatalf("nil tracer Dropped = %d, want 0", got)
+	}
+	sum := tr.Summarize()
+	if sum.Recorded != 0 || len(sum.Phases) != 0 || len(sum.Lanes) != 0 {
+		t.Fatalf("nil tracer summary not zero: %+v", sum)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil tracer WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil tracer trace not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("nil tracer trace has %d events, want 0", len(doc.TraceEvents))
+	}
+}
+
+func TestNestingRecordsTree(t *testing.T) {
+	tr := New(0)
+	l := tr.Lane("main")
+	outer := l.Start("outer")
+	inner := l.Start("inner")
+	grand := l.Start("grand")
+	grand.End()
+	inner.End()
+	sib := l.Start("sibling")
+	sib.End()
+	outer.End()
+	top2 := l.Start("top2")
+	top2.End()
+
+	recs := tr.Records()
+	if len(recs) != 5 {
+		t.Fatalf("recorded %d spans, want 5", len(recs))
+	}
+	parent := make(map[string]uint64)
+	id := make(map[string]uint64)
+	for _, r := range recs {
+		parent[r.Name] = r.Parent
+		id[r.Name] = r.ID
+		if r.Lane != 0 {
+			t.Errorf("span %s on lane %d, want 0", r.Name, r.Lane)
+		}
+	}
+	if parent["outer"] != 0 || parent["top2"] != 0 {
+		t.Errorf("top-level spans have parents: outer=%d top2=%d", parent["outer"], parent["top2"])
+	}
+	if parent["inner"] != id["outer"] {
+		t.Errorf("inner.parent = %d, want outer id %d", parent["inner"], id["outer"])
+	}
+	if parent["grand"] != id["inner"] {
+		t.Errorf("grand.parent = %d, want inner id %d", parent["grand"], id["inner"])
+	}
+	if parent["sibling"] != id["outer"] {
+		t.Errorf("sibling.parent = %d, want outer id %d", parent["sibling"], id["outer"])
+	}
+}
+
+func TestConcurrentLanes(t *testing.T) {
+	tr := New(0)
+	const lanes, perLane = 8, 200
+	var wg sync.WaitGroup
+	for i := 0; i < lanes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l := tr.WorkerLane("worker." + string(rune('a'+i)))
+			for j := 0; j < perLane; j++ {
+				s := l.Start("job")
+				c := l.Start("job.child")
+				c.End()
+				s.End()
+			}
+		}(i)
+	}
+	wg.Wait()
+	recs := tr.Records()
+	if want := lanes * perLane * 2; len(recs) != want {
+		t.Fatalf("recorded %d spans, want %d", len(recs), want)
+	}
+	seen := make(map[uint64]bool)
+	for _, r := range recs {
+		if seen[r.ID] {
+			t.Fatalf("duplicate span id %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	sum := tr.Summarize()
+	if len(sum.Lanes) != lanes {
+		t.Fatalf("summary has %d lanes, want %d", len(sum.Lanes), lanes)
+	}
+	for _, l := range sum.Lanes {
+		if !l.Worker {
+			t.Errorf("lane %s not marked worker", l.Name)
+		}
+		if l.Spans != perLane*2 {
+			t.Errorf("lane %s spans = %d, want %d", l.Name, l.Spans, perLane*2)
+		}
+	}
+	if sum.WorkerImbalance < 1 {
+		t.Errorf("worker imbalance %.3f < 1", sum.WorkerImbalance)
+	}
+}
+
+func TestDropLimit(t *testing.T) {
+	tr := New(3)
+	l := tr.Lane("main")
+	for i := 0; i < 10; i++ {
+		l.Start("s").End()
+	}
+	if got := len(tr.Records()); got != 3 {
+		t.Fatalf("kept %d records, want 3", got)
+	}
+	if got := tr.Dropped(); got != 7 {
+		t.Fatalf("dropped = %d, want 7", got)
+	}
+	sum := tr.Summarize()
+	if sum.Dropped != 7 || sum.Recorded != 3 {
+		t.Fatalf("summary recorded/dropped = %d/%d, want 3/7", sum.Recorded, sum.Dropped)
+	}
+}
+
+func TestSetMetricsFoldsSpans(t *testing.T) {
+	tr := New(0)
+	reg := telemetry.NewRegistry()
+	tr.SetMetrics(reg)
+	l := tr.Lane("main")
+	s := l.Start("generate.measure")
+	time.Sleep(time.Millisecond)
+	s.End()
+	l.Start("generate.measure").End()
+
+	snap := reg.Snapshot()
+	byName := make(map[string]telemetry.Metric)
+	for _, m := range snap {
+		byName[m.Name] = m
+	}
+	g, ok := byName["span.generate.measure_seconds"]
+	if !ok {
+		t.Fatalf("gauge span.generate.measure_seconds missing from snapshot: %+v", snap)
+	}
+	if g.Value <= 0 {
+		t.Errorf("span seconds gauge = %v, want > 0", g.Value)
+	}
+	if _, ok := byName["span.generate.measure_us"]; !ok {
+		t.Fatalf("histogram span.generate.measure_us missing from snapshot")
+	}
+	if !telemetry.IsWallClock("span.generate.measure_seconds") {
+		t.Errorf("span seconds gauge not excluded as wall-clock")
+	}
+	if !telemetry.IsWallClock("span.generate.measure_us") {
+		t.Errorf("span histogram not excluded as wall-clock")
+	}
+}
+
+func TestSummarySelfTime(t *testing.T) {
+	tr := New(0)
+	l := tr.Lane("main")
+	outer := l.Start("outer")
+	inner := l.Start("inner")
+	time.Sleep(2 * time.Millisecond)
+	inner.End()
+	outer.End()
+
+	sum := tr.Summarize()
+	stats := make(map[string]PhaseStat)
+	for _, p := range sum.Phases {
+		stats[p.Name] = p
+	}
+	o, in := stats["outer"], stats["inner"]
+	if o.Count != 1 || in.Count != 1 {
+		t.Fatalf("phase counts outer=%d inner=%d, want 1/1", o.Count, in.Count)
+	}
+	if o.TotalSeconds < in.TotalSeconds {
+		t.Errorf("outer total %.6f < inner total %.6f", o.TotalSeconds, in.TotalSeconds)
+	}
+	// outer's self time excludes inner; it must be (well) below its total.
+	if o.SelfSeconds > o.TotalSeconds-in.TotalSeconds+1e-9 {
+		t.Errorf("outer self %.6f not reduced by inner %.6f (total %.6f)",
+			o.SelfSeconds, in.TotalSeconds, o.TotalSeconds)
+	}
+	if in.SelfSeconds <= 0 {
+		t.Errorf("inner self %.6f, want > 0", in.SelfSeconds)
+	}
+}
+
+// chromeEvent mirrors the fields the golden/schema checks need.
+type chromeEvent struct {
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	TS   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Args map[string]any `json:"args"`
+}
+
+func TestChromeTraceSchema(t *testing.T) {
+	tr := New(0)
+	l := tr.Lane("main")
+	s := l.Start("phase")
+	l.Start("phase.child").End()
+	s.End()
+	w := tr.WorkerLane("worker.0")
+	w.Start("job").End()
+	openSpan := l.Start("still-open")
+	defer openSpan.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	var meta, complete, begin int
+	for _, ev := range doc.TraceEvents {
+		if ev.PID != 1 {
+			t.Errorf("event pid = %d, want 1", ev.PID)
+		}
+		if ev.TID < 1 {
+			t.Errorf("event tid = %d, want >= 1", ev.TID)
+		}
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if ev.TS == nil || ev.Dur == nil {
+				t.Errorf("X event %q missing ts/dur", ev.Name)
+			}
+			if ev.Cat != "span" {
+				t.Errorf("X event %q cat = %q, want span", ev.Name, ev.Cat)
+			}
+		case "B":
+			begin++
+			if ev.Name != "still-open" {
+				t.Errorf("B event name = %q, want still-open", ev.Name)
+			}
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if meta != 4 { // 2 lanes x (thread_name + thread_sort_index)
+		t.Errorf("metadata events = %d, want 4", meta)
+	}
+	if complete != 3 {
+		t.Errorf("complete events = %d, want 3", complete)
+	}
+	if begin != 1 {
+		t.Errorf("begin events = %d, want 1", begin)
+	}
+}
+
+func TestProfileSpanBracketsCPUProfile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "span.pprof")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(0)
+	tr.ProfileSpan("hot", f)
+	l := tr.Lane("main")
+	l.Start("cold").End() // must not trigger the profile
+	s := l.Start("hot")
+	busy := 0
+	deadline := time.Now().Add(20 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		busy++
+	}
+	_ = busy
+	s.End()
+	l.Start("hot").End() // second instance must not re-arm
+	tr.StopProfile()     // idempotent after the bracket closed
+
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Fatalf("CPU profile is empty")
+	}
+}
+
+func TestStopProfileClosesInterruptedBracket(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "span.pprof")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(0)
+	tr.ProfileSpan("hot", f)
+	l := tr.Lane("main")
+	_ = l.Start("hot") // never ended: simulates an interrupted run
+	tr.StopProfile()
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Fatalf("interrupted CPU profile is empty")
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	tr := New(0)
+	tr.Lane("main").Start("work").End()
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatalf("written trace is not valid JSON:\n%s", data)
+	}
+	if !strings.Contains(string(data), `"work"`) {
+		t.Fatalf("trace missing span name:\n%s", data)
+	}
+}
+
+func TestSanitizeProfileName(t *testing.T) {
+	for in, want := range map[string]string{
+		"sweep.job":      "sweep.job",
+		"workload/video": "workload_video",
+		"a b:c":          "a_b_c",
+		"ok_name-1.2":    "ok_name-1.2",
+	} {
+		if got := SanitizeProfileName(in); got != want {
+			t.Errorf("SanitizeProfileName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -6,8 +6,10 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"onchip/internal/spans"
 	"onchip/internal/telemetry"
 )
 
@@ -118,6 +120,22 @@ type Appender struct {
 
 	stop      chan struct{}
 	flusherWG sync.WaitGroup
+
+	// flushLane, when set, records one span per periodic flush; atomic
+	// because SetSpans may race with a flusher already ticking.
+	flushLane atomic.Pointer[spans.Lane]
+}
+
+// SetSpans gives the periodic flusher a span lane: each interval flush
+// records a "tsdb.flush" span there, so traces show when the durable
+// store's I/O happens relative to the sweep. Only the flusher goroutine
+// uses the lane (lanes are single-goroutine); explicit Flush and Close
+// calls stay unrecorded. Safe on a nil Appender or nil lane.
+func (a *Appender) SetSpans(lane *spans.Lane) {
+	if a == nil {
+		return
+	}
+	a.flushLane.Store(lane)
 }
 
 // Create opens a new run directory under root and returns its Appender.
@@ -192,7 +210,9 @@ func (a *Appender) flushLoop() {
 		case <-a.stop:
 			return
 		case <-tick.C:
+			span := a.flushLane.Load().Start("tsdb.flush")
 			a.Flush()
+			span.End()
 		}
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"onchip/internal/telemetry"
 )
 
 // Trend is the least-squares regression of one metric's per-run scalar
@@ -105,9 +107,11 @@ type TrendOptions struct {
 	LastN int
 	// Match keeps metrics containing the substring; empty keeps all.
 	Match string
-	// IncludeWallClock also fits *_seconds* metrics, which `memalloc
-	// compare` excludes as machine-dependent; off by default so trend
-	// gating inherits the same determinism contract.
+	// IncludeWallClock also fits wall-clock metrics (per
+	// telemetry.IsWallClock: *_seconds* timings and span.* duration
+	// folds), which `memalloc compare` excludes as machine-dependent;
+	// off by default so trend gating inherits the same determinism
+	// contract.
 	IncludeWallClock bool
 }
 
@@ -143,7 +147,7 @@ func (db *DB) TrendAll(opts TrendOptions) ([]Trend, error) {
 		if n != len(runs) {
 			continue
 		}
-		if !opts.IncludeWallClock && strings.Contains(name, "_seconds") {
+		if !opts.IncludeWallClock && telemetry.IsWallClock(name) {
 			continue
 		}
 		if opts.Match != "" && !strings.Contains(name, opts.Match) {
