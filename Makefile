@@ -22,15 +22,17 @@ race:
 	$(GO) test -race ./...
 
 # bench runs every benchmark once for compile/run coverage, then the
-# full-scale sweep comparison (legacy three-pass arrangement vs the
-# fused engine at the default 1M refs), recording the measured speedup
-# in BENCH_sweep.json.
+# full-scale sweep comparison at the default 1M refs -- legacy
+# three-pass arrangement vs the fused engine at one worker and at full
+# pool width with set sharding, plus a cold-record/warm-replay
+# trace-cache pair -- recording every series in BENCH_sweep.json.
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 	BENCH_SWEEP_JSON=$(CURDIR)/BENCH_sweep.json $(GO) test -run TestSweepBenchArtifact -count=1 -v ./internal/experiments/
 
 fuzz:
 	$(GO) test -fuzz=FuzzTrace -fuzztime=20s -run=FuzzTrace ./internal/trace/
+	$(GO) test -fuzz=FuzzTraceCacheRoundTrip -fuzztime=20s -run=FuzzTraceCacheRoundTrip ./internal/tracecache/
 
 # crossval pins the single-pass stack simulators and the fused sweep
 # engine to their direct-simulation oracles, under the race detector:

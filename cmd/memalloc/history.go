@@ -8,6 +8,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
 	"runtime"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"onchip/internal/obs"
 	"onchip/internal/search"
 	"onchip/internal/telemetry"
+	"onchip/internal/tracecache"
 	"onchip/internal/tsdb"
 )
 
@@ -29,14 +31,19 @@ func runHistory(args []string, globalRefs int) int {
 	dir := fs.String("dir", ".", "directory for the snapshot file")
 	out := fs.String("o", "", "exact output path (overrides -dir and the BENCH_<runid>.json name)")
 	tsdbDir := fs.String("tsdb", "", "also persist sampled metric series to this time-series store root")
+	traceCacheDir := fs.String("trace-cache", "", "cache generated workload reference streams under this directory (warm runs replay instead of regenerating)")
+	shards := fs.Int("shards", 0, "set shards per sweep simulator group (power of two; 0 = automatic; never changes results)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, `usage: memalloc history [-refs N] [-dir DIR | -o FILE] [-tsdb DIR] <experiment>... | all
+		fmt.Fprintln(os.Stderr, `usage: memalloc history [-refs N] [-dir DIR | -o FILE] [-tsdb DIR] [-trace-cache DIR] [-shards N] <experiment>... | all
 
 Runs the experiments with metrics collection on and persists the
 end-of-run telemetry snapshot as BENCH_<runid>.json, for later
 regression checks with "memalloc compare". With -tsdb, the sampled
 metric series are also persisted to the durable time-series store, so
-one invocation feeds both "memalloc compare" and "memalloc tsdb trend".`)
+one invocation feeds both "memalloc compare" and "memalloc tsdb trend".
+-trace-cache and -shards speed the sweeps up without changing any
+simulation result (compare warm-vs-cold snapshots with
+-ignore 'tracecache\..*').`)
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -50,7 +57,16 @@ one invocation feeds both "memalloc compare" and "memalloc tsdb trend".`)
 
 	start := time.Now()
 	reg := telemetry.NewRegistry()
-	opt := experiments.Options{Refs: *refs, Metrics: reg, Context: ctx}
+	opt := experiments.Options{Refs: *refs, Metrics: reg, Context: ctx, Shards: *shards}
+	if *traceCacheDir != "" {
+		tc, err := tracecache.Open(*traceCacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memalloc:", err)
+			return 1
+		}
+		tc.Describe(reg)
+		opt.TraceCache = tc
+	}
 	runID := obs.RunID("memalloc", start)
 	flushTsdb := func() {}
 	if *tsdbDir != "" {
@@ -127,20 +143,33 @@ one invocation feeds both "memalloc compare" and "memalloc tsdb trend".`)
 func runCompare(args []string) int {
 	fs := flag.NewFlagSet("memalloc compare", flag.ExitOnError)
 	threshold := fs.Float64("threshold", 0.01, "relative change beyond which a metric is flagged")
+	ignore := fs.String("ignore", "", "regexp of metric names to exclude from the diff (e.g. 'sweep\\.workers|tracecache\\..*' when comparing runs that legitimately differ in execution arrangement)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, `usage: memalloc compare [-threshold F] <a.json> <b.json>
+		fmt.Fprintln(os.Stderr, `usage: memalloc compare [-threshold F] [-ignore REGEX] <a.json> <b.json>
 
 Diffs two run snapshots written by "memalloc history" (or -metrics
 converted runs). Exits 0 when every counter, histogram and the derived
 CPI agree within the threshold, 1 when any metric regressed or is
 missing from one run, 2 on usage or read errors (so CI can tell a
-regression from a missing or unreadable run file).`)
+regression from a missing or unreadable run file). -ignore drops
+matching metric names entirely, so execution-arrangement metrics (pool
+width, shard count, trace-cache hit counters) do not fail a
+determinism gate that only the simulation results should gate.`)
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		fs.Usage()
 		return 2
+	}
+	var ignoreRE *regexp.Regexp
+	if *ignore != "" {
+		re, err := regexp.Compile(*ignore)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memalloc: -ignore:", err)
+			return 2
+		}
+		ignoreRE = re
 	}
 	a, err := readRunFile(fs.Arg(0))
 	if err != nil {
@@ -153,6 +182,15 @@ regression from a missing or unreadable run file).`)
 		return 2
 	}
 	deltas := obs.Compare(a, b, *threshold)
+	if ignoreRE != nil {
+		kept := deltas[:0]
+		for _, d := range deltas {
+			if !ignoreRE.MatchString(d.Metric) {
+				kept = append(kept, d)
+			}
+		}
+		deltas = kept
+	}
 	if len(deltas) == 0 {
 		fmt.Printf("%s and %s agree: no metric moved more than %.3g%%\n",
 			fs.Arg(0), fs.Arg(1), 100**threshold)

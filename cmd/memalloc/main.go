@@ -46,6 +46,16 @@
 //	-prof-span NAME capture a CPU profile bracketed exactly by the first
 //	                span named NAME (-prof-span-out sets the .pprof path)
 //
+// Performance flags (neither ever changes experiment output):
+//
+//	-trace-cache DIR  cache generated workload reference streams under
+//	                  DIR (compressed, content-addressed, checksummed);
+//	                  a warm run replays the recorded stream instead of
+//	                  regenerating it, a corrupt entry falls back to
+//	                  regeneration
+//	-shards N         set shards per sweep simulator group (power of
+//	                  two, 0 = automatic from the worker count)
+//
 // Fault tolerance (see DESIGN.md "Fault tolerance"):
 //
 //	-checkpoint FILE  persist design-space sweep state to FILE
@@ -67,8 +77,10 @@
 //	                persist the end-of-run metric snapshot as
 //	                BENCH_<runid>.json (and, with -tsdb, the sampled
 //	                series)
-//	memalloc compare [-threshold F] <a.json> <b.json>
+//	memalloc compare [-threshold F] [-ignore REGEX] <a.json> <b.json>
 //	                diff two snapshots; non-zero exit on regression
+//	                (-ignore drops execution-arrangement metrics from
+//	                determinism gates)
 //	memalloc tsdb ls|export|trend
 //	                inspect the durable time-series store: list stored
 //	                runs and metrics, export one series (json/csv), or
@@ -94,6 +106,7 @@ import (
 	"onchip/internal/obs"
 	"onchip/internal/spans"
 	"onchip/internal/telemetry"
+	"onchip/internal/tracecache"
 	"onchip/internal/tsdb"
 )
 
@@ -114,6 +127,8 @@ func run() int {
 	profSpanOut := flag.String("prof-span-out", "", "CPU profile output path for -prof-span (default span_<name>.pprof)")
 	checkpoint := flag.String("checkpoint", "", "persist design-space sweep state to this file (atomic, checksummed)")
 	resume := flag.String("resume", "", "resume a design-space sweep from this checkpoint file (implies -checkpoint to the same file)")
+	traceCacheDir := flag.String("trace-cache", "", "cache generated workload reference streams (compressed, content-addressed) under this directory; warm runs replay instead of regenerating")
+	shards := flag.Int("shards", 0, "set shards per sweep simulator group (power of two; 0 = automatic from the worker count; never changes results)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection PRNG seed (deterministic schedule)")
 	faultPanicProb := flag.Float64("fault-panic-prob", 0, "probability a sweep worker panics, per workload attempt (testing the recovery path)")
 	faultRetries := flag.Int("fault-retries", 2, "times a failed workload sweep is retried before being excluded from the model")
@@ -179,9 +194,19 @@ func run() int {
 	}
 	opt.FaultInjector = faultinject.New(faultinject.Config{Seed: *faultSeed, PanicProb: *faultPanicProb})
 	opt.FaultRetries = *faultRetries
+	opt.Shards = *shards
 	if *metricsFile != "" || *serveAddr != "" || *tsdbDir != "" {
 		opt.Metrics = telemetry.NewRegistry()
 		opt.FaultInjector.Describe(opt.Metrics, "faults")
+	}
+	if *traceCacheDir != "" {
+		tc, err := tracecache.Open(*traceCacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memalloc:", err)
+			return 1
+		}
+		tc.Describe(opt.Metrics)
+		opt.TraceCache = tc
 	}
 	if *traceFile != "" || *serveAddr != "" {
 		opt.Tracer = telemetry.NewTracer(telemetry.DefaultTracerDepth)
@@ -335,7 +360,7 @@ func writeTrace(path string, tr *telemetry.Tracer) error {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: memalloc [flags] list | all | <experiment>...
        memalloc history [-refs N] [-dir DIR | -o FILE] [-tsdb DIR] <experiment>... | all
-       memalloc compare [-threshold F] <a.json> <b.json>
+       memalloc compare [-threshold F] [-ignore REGEX] <a.json> <b.json>
        memalloc tsdb ls|export|trend [flags]
 
 Reproduces the evaluation of "Optimal Allocation of On-chip Memory for

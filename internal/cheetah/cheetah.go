@@ -33,6 +33,10 @@ type AllAssoc struct {
 	// that provably leaves the stack unchanged, so the scan and the
 	// promote can be skipped. Initialized to an impossible block.
 	last uint64
+	// shards, when non-nil, are the concurrent set-partition views
+	// handed out by Shards; their private counters merge into every
+	// read-side accessor.
+	shards []*AllAssocShard
 }
 
 // NewAllAssoc builds a simulator for the given set count (a power of
@@ -71,13 +75,28 @@ func (a *AllAssoc) Access(key uint64) {
 		return
 	}
 	a.last = block
-	set := int(block & a.setMask)
+	a.accessStack(int(block&a.setMask), block, a.hits)
+}
+
+// accessStack scans and updates set's LRU stack for block, crediting
+// the hit depth to hits. The caller has already ruled out its depth-1
+// memo, but block can still sit at the front: the memo only covers the
+// globally (or shard-locally) most recent access.
+func (a *AllAssoc) accessStack(set int, block uint64, hits []uint64) {
 	stack := a.stacks[set]
 	for i, b := range stack {
 		if b == block {
-			a.hits[i]++
-			copy(stack[1:i+1], stack[:i])
-			stack[0] = block
+			hits[i]++
+			// Promote to the front. Depth 1 needs nothing and depth 2 is
+			// a single displaced element -- handle both without the copy
+			// machinery; deeper hits shift a real window.
+			if i == 1 {
+				stack[1] = stack[0]
+				stack[0] = block
+			} else if i > 1 {
+				copy(stack[1:i+1], stack[:i])
+				stack[0] = block
+			}
 			return
 		}
 	}
@@ -98,8 +117,113 @@ func (a *AllAssoc) AccessKeys(keys []uint64) {
 	}
 }
 
-// Accesses returns the number of references processed.
-func (a *AllAssoc) Accesses() uint64 { return a.accesses }
+// AllAssocShard is a deterministic set-partition view of an AllAssoc:
+// shard i of n owns the sets whose index is congruent to i mod n (n a
+// power of two, so the filter is a mask) and carries private hit and
+// access counters plus its own depth-1 memo. Per-set LRU stacks are
+// independent, so n shards fed the same key stream -- each skipping
+// the sets it does not own -- touch disjoint state and may run on
+// separate goroutines; the parent merges shard counters at read time
+// and the combined result is byte-identical to the serial pass.
+//
+// The per-shard memo stays exact: a memo hit means no access since the
+// last one touched this shard's copy of that set, so the block is
+// still at the MRU spot and a depth-1 hit leaves the stack unchanged.
+type AllAssocShard struct {
+	parent    *AllAssoc
+	shard     uint64
+	shardMask uint64
+	hits      []uint64
+	accesses  uint64
+	last      uint64
+}
+
+// Shards partitions the simulator for n-way concurrent access and
+// returns the shard views. n is rounded down to a power of two and
+// clamped to the set count, so the result may be shorter than
+// requested; it always holds at least one shard. Shards must be called
+// at most once, before any access, and serial Access/AccessKeys on the
+// parent must not be mixed with shard access afterwards (the parent's
+// memo cannot see shard updates).
+func (a *AllAssoc) Shards(n int) []*AllAssocShard {
+	if a.shards != nil {
+		panic("cheetah: simulator already sharded")
+	}
+	if a.accesses != 0 {
+		panic("cheetah: Shards called after serial access")
+	}
+	n = shardCount(n, a.sets)
+	a.shards = make([]*AllAssocShard, n)
+	for i := range a.shards {
+		a.shards[i] = &AllAssocShard{
+			parent:    a,
+			shard:     uint64(i),
+			shardMask: uint64(n - 1),
+			hits:      make([]uint64, a.maxAssoc),
+			last:      ^uint64(0),
+		}
+	}
+	return a.shards
+}
+
+// shardCount rounds n down to a power of two clamped to [1, sets].
+func shardCount(n, sets int) int {
+	if n > sets {
+		n = sets
+	}
+	s := 1
+	for s*2 <= n {
+		s *= 2
+	}
+	return s
+}
+
+// AccessKeys processes a batch of references, simulating only the sets
+// this shard owns. Every shard of one parent must see the same stream
+// in the same order.
+func (s *AllAssocShard) AccessKeys(keys []uint64) {
+	a := s.parent
+	for _, key := range keys {
+		block := key >> a.offsetBits
+		if block == s.last {
+			s.hits[0]++
+			s.accesses++
+			continue
+		}
+		set := block & a.setMask
+		if set&s.shardMask != s.shard {
+			continue
+		}
+		s.accesses++
+		s.last = block
+		a.accessStack(int(set), block, s.hits)
+	}
+}
+
+// Accesses returns the number of references processed (for a sharded
+// simulator, summed over the shards' disjoint set partitions).
+func (a *AllAssoc) Accesses() uint64 {
+	n := a.accesses
+	for _, s := range a.shards {
+		n += s.accesses
+	}
+	return n
+}
+
+// hitsThrough sums hit counts at depths 1..assoc across the serial
+// counters and every shard.
+func (a *AllAssoc) hitsThrough(assoc int) uint64 {
+	var h uint64
+	for d := 0; d < assoc; d++ {
+		h += a.hits[d]
+	}
+	for _, s := range a.shards {
+		for d := 0; d < assoc; d++ {
+			h += s.hits[d]
+		}
+	}
+	return h
+}
 
 // Misses returns the exact LRU miss count for associativity assoc
 // (1 <= assoc <= MaxAssoc).
@@ -107,19 +231,16 @@ func (a *AllAssoc) Misses(assoc int) uint64 {
 	if assoc < 1 || assoc > a.maxAssoc {
 		panic("cheetah: associativity out of tracked range")
 	}
-	var hits uint64
-	for d := 0; d < assoc; d++ {
-		hits += a.hits[d]
-	}
-	return a.accesses - hits
+	return a.Accesses() - a.hitsThrough(assoc)
 }
 
 // MissRatio returns Misses(assoc)/Accesses().
 func (a *AllAssoc) MissRatio(assoc int) float64 {
-	if a.accesses == 0 {
+	n := a.Accesses()
+	if n == 0 {
 		return 0
 	}
-	return float64(a.Misses(assoc)) / float64(a.accesses)
+	return float64(a.Misses(assoc)) / float64(n)
 }
 
 // StackDist computes, in one pass, miss counts for fully-associative LRU

@@ -57,6 +57,19 @@ type AllAssocData struct {
 	m      []uint8
 	len    []uint8
 
+	// The serial counters. Shard views carry their own dataCounters;
+	// read-side accessors merge the two.
+	dataCounters
+
+	// shards, when non-nil, are the concurrent set-partition views
+	// handed out by Shards.
+	shards []*AllAssocDataShard
+}
+
+// dataCounters is the per-consumer bookkeeping of an AllAssocData: the
+// serial simulator owns one and each shard view owns another, so
+// concurrent shards never share a cache line of counter state.
+type dataCounters struct {
 	// hits[d] counts loads that hit with minimum resident
 	// associativity d+1 (a hit in every cache with assoc >= d+1).
 	hits   []uint64
@@ -69,7 +82,9 @@ type AllAssocData struct {
 	// and a repeated store a store hit at the front -- both provably
 	// leave the set state unchanged, so the scan and relabel walk can
 	// be skipped. Sequential code runs through cache lines, making this
-	// the hottest case. Initialized to an impossible block.
+	// the hottest case. Initialized to an impossible block; accessSet
+	// keeps it exact by invalidating it when a store-hit promote
+	// displaces the memoized front block.
 	last uint64
 }
 
@@ -94,8 +109,10 @@ func NewAllAssocData(sets, lineWords, maxAssoc int) *AllAssocData {
 		blocks:     make([]uint64, sets*maxAssoc),
 		m:          make([]uint8, sets*maxAssoc),
 		len:        make([]uint8, sets),
-		hits:       make([]uint64, maxAssoc),
-		last:       ^uint64(0),
+		dataCounters: dataCounters{
+			hits: make([]uint64, maxAssoc),
+			last: ^uint64(0),
+		},
 	}
 }
 
@@ -111,7 +128,17 @@ func (d *AllAssocData) Access(key uint64, write bool) {
 		}
 		return
 	}
-	set := int(block & d.setMask)
+	d.accessSet(int(block&d.setMask), block, write, &d.dataCounters)
+}
+
+// accessSet runs the full stack-update bookkeeping for one reference
+// known to have missed the owner's depth-1 memo, crediting counters to
+// c and keeping c.last exact: it becomes block when the access leaves
+// block at the MRU spot of every tracked cache (m = 1 at the list
+// front), is invalidated when a store-hit promote displaces the set's
+// memoizable front block, and is otherwise left alone (a store miss
+// touches nothing).
+func (d *AllAssocData) accessSet(set int, block uint64, write bool, c *dataCounters) {
 	base := set * d.maxAssoc
 	k := int(d.len[set])
 
@@ -124,7 +151,7 @@ func (d *AllAssocData) Access(key uint64, write bool) {
 	}
 
 	if write {
-		d.writes++
+		c.writes++
 		if p < 0 {
 			return // store miss: no allocation, no recency change
 		}
@@ -133,25 +160,46 @@ func (d *AllAssocData) Access(key uint64, write bool) {
 		// containing cache puts the block at its MRU spot). m is
 		// unchanged -- the narrower caches missed and stay untouched.
 		mv := d.m[base+p]
-		copy(d.blocks[base+1:base+p+1], d.blocks[base:base+p])
-		copy(d.m[base+1:base+p+1], d.m[base:base+p])
-		d.blocks[base] = block
-		d.m[base] = mv
-		return
-	}
-
-	d.reads++
-	var evictLimit int
-	if p >= 0 {
-		depth := int(d.m[base+p])
-		d.hits[depth-1]++
-		if depth == 1 {
-			// Fast path for the common case: a hit in even the 1-way
-			// cache evicts nowhere, so no relabeling -- just promote.
+		if p == 1 {
+			d.blocks[base+1] = d.blocks[base]
+			d.m[base+1] = d.m[base]
+			d.blocks[base] = block
+			d.m[base] = mv
+		} else if p > 1 {
 			copy(d.blocks[base+1:base+p+1], d.blocks[base:base+p])
 			copy(d.m[base+1:base+p+1], d.m[base:base+p])
 			d.blocks[base] = block
+			d.m[base] = mv
+		}
+		if mv == 1 {
+			// block now fronts every tracked cache's recency order.
+			c.last = block
+		} else if c.last&d.setMask == uint64(set) {
+			// The promote displaced this set's old front block -- the
+			// only block the memo could have been holding.
+			c.last = ^uint64(0)
+		}
+		return
+	}
+
+	c.reads++
+	var evictLimit int
+	if p >= 0 {
+		depth := int(d.m[base+p])
+		c.hits[depth-1]++
+		if depth == 1 {
+			// Fast path for the common case: a hit in even the 1-way
+			// cache evicts nowhere, so no relabeling -- just promote.
+			if p == 1 {
+				d.blocks[base+1] = d.blocks[base]
+				d.m[base+1] = d.m[base]
+			} else if p > 1 {
+				copy(d.blocks[base+1:base+p+1], d.blocks[base:base+p])
+				copy(d.m[base+1:base+p+1], d.m[base:base+p])
+			}
+			d.blocks[base] = block
 			d.m[base] = 1
+			c.last = block
 			return
 		}
 		evictLimit = depth - 1 // caches 1..depth-1 miss and evict
@@ -210,6 +258,72 @@ func (d *AllAssocData) Access(key uint64, write bool) {
 	copy(d.m[base+1:base+shift+1], d.m[base:base+shift])
 	d.blocks[base] = block
 	d.m[base] = 1
+	c.last = block
+}
+
+// AllAssocDataShard is a deterministic set-partition view of an
+// AllAssocData, the D-stream counterpart of AllAssocShard: shard i of
+// n owns the sets congruent to i mod n and carries private counters
+// and a private depth-1 memo, so n shards fed the same packed stream
+// touch disjoint state and may run concurrently; merged counters are
+// byte-identical to the serial pass.
+type AllAssocDataShard struct {
+	parent    *AllAssocData
+	shard     uint64
+	shardMask uint64
+	dataCounters
+}
+
+// Shards partitions the simulator for n-way concurrent access and
+// returns the shard views. n is rounded down to a power of two and
+// clamped to the set count. Shards must be called at most once, before
+// any access, and serial Access/AccessPacked on the parent must not be
+// mixed with shard access afterwards.
+func (d *AllAssocData) Shards(n int) []*AllAssocDataShard {
+	if d.shards != nil {
+		panic("cheetah: simulator already sharded")
+	}
+	if d.reads != 0 || d.writes != 0 {
+		panic("cheetah: Shards called after serial access")
+	}
+	n = shardCount(n, d.sets)
+	d.shards = make([]*AllAssocDataShard, n)
+	for i := range d.shards {
+		d.shards[i] = &AllAssocDataShard{
+			parent:    d,
+			shard:     uint64(i),
+			shardMask: uint64(n - 1),
+			dataCounters: dataCounters{
+				hits: make([]uint64, d.maxAssoc),
+				last: ^uint64(0),
+			},
+		}
+	}
+	return d.shards
+}
+
+// AccessPacked processes a batch of packed references (see PackRef),
+// simulating only the sets this shard owns. Every shard of one parent
+// must see the same stream in the same order.
+func (s *AllAssocDataShard) AccessPacked(batch []uint64) {
+	d := s.parent
+	for _, kv := range batch {
+		block := kv >> 1 >> d.offsetBits
+		if block == s.last {
+			if kv&1 != 0 {
+				s.writes++
+			} else {
+				s.reads++
+				s.hits[0]++
+			}
+			continue
+		}
+		set := block & d.setMask
+		if set&s.shardMask != s.shard {
+			continue
+		}
+		d.accessSet(int(set), block, kv&1 != 0, &s.dataCounters)
+	}
 }
 
 // AccessPacked processes a batch of data references, each packed as
@@ -231,11 +345,24 @@ func PackRef(key uint64, write bool) uint64 {
 	return kv
 }
 
-// Reads returns the number of load references processed.
-func (d *AllAssocData) Reads() uint64 { return d.reads }
+// Reads returns the number of load references processed (for a
+// sharded simulator, summed over the shards' disjoint set partitions).
+func (d *AllAssocData) Reads() uint64 {
+	n := d.reads
+	for _, s := range d.shards {
+		n += s.reads
+	}
+	return n
+}
 
 // Writes returns the number of store references processed.
-func (d *AllAssocData) Writes() uint64 { return d.writes }
+func (d *AllAssocData) Writes() uint64 {
+	n := d.writes
+	for _, s := range d.shards {
+		n += s.writes
+	}
+	return n
+}
 
 // ReadMisses returns the exact load miss count for associativity assoc
 // (1 <= assoc <= maxAssoc) under the write-through, no-write-allocate
@@ -248,7 +375,12 @@ func (d *AllAssocData) ReadMisses(assoc int) uint64 {
 	for i := 0; i < assoc; i++ {
 		hits += d.hits[i]
 	}
-	return d.reads - hits
+	for _, s := range d.shards {
+		for i := 0; i < assoc; i++ {
+			hits += s.hits[i]
+		}
+	}
+	return d.Reads() - hits
 }
 
 // DataSweep prices an arbitrary set of cache configurations for the

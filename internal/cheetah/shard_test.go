@@ -1,0 +1,166 @@
+package cheetah
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// shardStream builds a reference stream that exercises every hot path:
+// sequential runs through cache lines (the depth-1 memo), re-touches of
+// recent blocks (shallow promotes), and random jumps over a footprint
+// larger than any tracked cache (misses and relabel walks).
+func shardStream(rng *rand.Rand, refs int) []uint64 {
+	keys := make([]uint64, 0, refs)
+	addr := uint64(rng.Intn(1 << 20))
+	for len(keys) < refs {
+		switch rng.Intn(4) {
+		case 0: // sequential run
+			n := 1 + rng.Intn(64)
+			for i := 0; i < n && len(keys) < refs; i++ {
+				keys = append(keys, addr)
+				addr += 4
+			}
+		case 1: // re-touch something recent
+			if len(keys) > 0 {
+				keys = append(keys, keys[len(keys)-1-rng.Intn(min(len(keys), 256))])
+			}
+		default: // jump
+			addr = uint64(rng.Intn(1 << 20))
+			keys = append(keys, addr)
+		}
+	}
+	return keys
+}
+
+// feedShards drives every shard over the same batched stream. With
+// concurrent set, each shard runs on its own goroutine per batch --
+// under -race this doubles as a data-race check on the disjoint-state
+// claim.
+func feedShards[S any](shards []S, keys []uint64, batch int, concurrent bool, access func(S, []uint64)) {
+	for lo := 0; lo < len(keys); lo += batch {
+		hi := min(lo+batch, len(keys))
+		if !concurrent {
+			for _, s := range shards {
+				access(s, keys[lo:hi])
+			}
+			continue
+		}
+		var wg sync.WaitGroup
+		for _, s := range shards {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				access(s, keys[lo:hi])
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// TestShardedCrossValidatesUnsharded checks that a sharded AllAssoc
+// produces byte-identical access and miss counts to the serial
+// simulator for every requested shard count 1..8 (non-powers of two
+// round down), over randomized streams and several geometries.
+func TestShardedCrossValidatesUnsharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, geom := range [][3]int{{64, 4, 8}, {16, 16, 4}, {1, 8, 16}, {256, 4, 2}} {
+		sets, lineWords, maxAssoc := geom[0], geom[1], geom[2]
+		keys := shardStream(rng, 60_000)
+		ref := NewAllAssoc(sets, lineWords, maxAssoc)
+		ref.AccessKeys(keys)
+		for n := 1; n <= 8; n++ {
+			for _, concurrent := range []bool{false, true} {
+				sim := NewAllAssoc(sets, lineWords, maxAssoc)
+				shards := sim.Shards(n)
+				feedShards(shards, keys, 1024, concurrent,
+					(*AllAssocShard).AccessKeys)
+				if got, want := sim.Accesses(), ref.Accesses(); got != want {
+					t.Fatalf("sets=%d shards=%d concurrent=%v: accesses %d, want %d", sets, n, concurrent, got, want)
+				}
+				for a := 1; a <= maxAssoc; a++ {
+					if got, want := sim.Misses(a), ref.Misses(a); got != want {
+						t.Fatalf("sets=%d shards=%d concurrent=%v assoc=%d: misses %d, want %d", sets, n, concurrent, a, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedDataCrossValidatesUnsharded is the AllAssocData
+// counterpart: read/write totals and read-miss counts must match the
+// serial simulator exactly for shard counts 1..8, with the write
+// policy's memo-invalidation paths exercised by a randomized store mix.
+func TestShardedDataCrossValidatesUnsharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, geom := range [][3]int{{64, 4, 8}, {16, 16, 4}, {1, 8, 16}, {256, 4, 2}} {
+		sets, lineWords, maxAssoc := geom[0], geom[1], geom[2]
+		keys := shardStream(rng, 60_000)
+		batch := make([]uint64, len(keys))
+		for i, k := range keys {
+			batch[i] = PackRef(k, rng.Intn(3) == 0)
+		}
+		ref := NewAllAssocData(sets, lineWords, maxAssoc)
+		ref.AccessPacked(batch)
+		for n := 1; n <= 8; n++ {
+			for _, concurrent := range []bool{false, true} {
+				sim := NewAllAssocData(sets, lineWords, maxAssoc)
+				shards := sim.Shards(n)
+				feedShards(shards, batch, 1024, concurrent,
+					(*AllAssocDataShard).AccessPacked)
+				if sim.Reads() != ref.Reads() || sim.Writes() != ref.Writes() {
+					t.Fatalf("sets=%d shards=%d concurrent=%v: reads/writes %d/%d, want %d/%d",
+						sets, n, concurrent, sim.Reads(), sim.Writes(), ref.Reads(), ref.Writes())
+				}
+				for a := 1; a <= maxAssoc; a++ {
+					if got, want := sim.ReadMisses(a), ref.ReadMisses(a); got != want {
+						t.Fatalf("sets=%d shards=%d concurrent=%v assoc=%d: read misses %d, want %d", sets, n, concurrent, a, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardCountRounding pins the power-of-two rounding and set-count
+// clamp.
+func TestShardCountRounding(t *testing.T) {
+	cases := []struct{ n, sets, want int }{
+		{1, 64, 1}, {2, 64, 2}, {3, 64, 2}, {5, 64, 4}, {8, 64, 8},
+		{7, 4, 4}, {16, 2, 2}, {16, 1, 1}, {0, 64, 1},
+	}
+	for _, c := range cases {
+		if got := shardCount(c.n, c.sets); got != c.want {
+			t.Errorf("shardCount(%d, %d) = %d, want %d", c.n, c.sets, got, c.want)
+		}
+	}
+	if got := len(NewAllAssoc(4, 4, 2).Shards(7)); got != 4 {
+		t.Errorf("Shards(7) on 4 sets: %d shards, want 4", got)
+	}
+}
+
+// TestShardsMisuse pins the guard rails: re-sharding and sharding after
+// serial access both panic.
+func TestShardsMisuse(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	a := NewAllAssoc(4, 4, 2)
+	a.Shards(2)
+	mustPanic("AllAssoc re-shard", func() { a.Shards(2) })
+	b := NewAllAssoc(4, 4, 2)
+	b.Access(0)
+	mustPanic("AllAssoc shard after access", func() { b.Shards(2) })
+	d := NewAllAssocData(4, 4, 2)
+	d.Shards(2)
+	mustPanic("AllAssocData re-shard", func() { d.Shards(2) })
+	e := NewAllAssocData(4, 4, 2)
+	e.Access(0, true)
+	mustPanic("AllAssocData shard after access", func() { e.Shards(2) })
+}

@@ -16,10 +16,12 @@ import (
 	"onchip/internal/osmodel"
 	"onchip/internal/report"
 	"onchip/internal/search"
+	"onchip/internal/spans"
 	"onchip/internal/tapeworm"
 	"onchip/internal/telemetry"
 	"onchip/internal/tlb"
 	"onchip/internal/trace"
+	"onchip/internal/tracecache"
 	"onchip/internal/workload"
 )
 
@@ -72,11 +74,24 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) (*search.
 	stageTapeworm := tapewormStageGauge(opt)
 
 	ctx := opt.ctx()
-	// Each workload prices both streams, so the pool can use at most
-	// twice the per-stream group count before workers sit idle.
-	workers := sweepWorkers(len(specs), 2*cheetah.GroupCount(cacheCfgs))
+	// One pool serves every workload sweep. Each engine spreads its
+	// (group, set-shard) units across all of the pool's workers, so when
+	// most workloads have finished the stragglers absorb the freed
+	// workers instead of stranding cores on a per-workload allowance --
+	// the old NumCPU/len(specs) split idled most of the machine through
+	// the tail of the sweep.
+	groups := 2 * cheetah.GroupCount(cacheCfgs)
+	workers := sweepWorkers(0)
+	shards := opt.Shards
+	if shards <= 0 {
+		shards = autoShards(workers, groups)
+	}
 	opt.Metrics.Gauge("sweep.workers",
-		"group-pool workers per workload sweep (clamped to shard groups)").Set(float64(workers))
+		"simulation workers in the shared sweep pool").Set(float64(workers))
+	opt.Metrics.Gauge("sweep.shards",
+		"set shards per simulator group (each group clamps to its set count)").Set(float64(shards))
+	pool := newGroupPool(workers, opt.Spans, "sweep")
+	defer pool.close()
 
 	// sweepWorkload runs one workload's sweep, reporting any panic
 	// (injected or real) as an error so one bad run degrades to a
@@ -94,6 +109,13 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) (*search.
 	// sinks attached, the TLB service counters reset there, phase 2 runs
 	// to E with both sinks, and phase 3 runs the tapeworm-only tail to
 	// E2. Every simulator sees byte-for-byte the stream it saw before.
+	// A warm trace cache short-circuits all of that generation: the
+	// recorded stream carries the two phase boundaries as segment marks,
+	// so a replay reproduces the exact three windows without running the
+	// OS model at all. A corrupt entry is discarded mid-replay -- the
+	// simulators have then seen a partial stream, so the whole attempt
+	// (fresh engine included) falls back to live generation, which also
+	// re-records the entry.
 	sweepWorkload := func(spec osmodel.WorkloadSpec) (engine *sweepEngine, results []tapeworm.Result, modelSec, tailSec float64, err error) {
 		defer func() {
 			if v := recover(); v != nil {
@@ -113,53 +135,60 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) (*search.
 		wl := lane.Start("sweep.workload")
 		defer wl.End()
 
-		engine = newSweepEngine(cacheCfgs, 8, workers, opt.Spans, "sweep/"+spec.Name)
-		defer engine.close()
-		hw := tlb.NewManaged(tlb.R2000(), tlb.DefaultCosts())
-		tw := tapeworm.Attach(hw, tlbConfigs...)
-		tsink := &tlbOnly{hw: hw}
-		sys := osmodel.NewSystem(osmodel.Mach, spec)
-		both := meterRefs(trace.Tee{engine, tsink}, refsStreamed)
+		attempt := func(entry *tracecache.Entry, rec *tracecache.Writer) (engine *sweepEngine, results []tapeworm.Result, modelSec, tailSec float64, err error) {
+			engine = newSweepEngine(cacheCfgs, 8, enginePar{pool: pool, shards: shards})
+			defer engine.close()
+			hw := tlb.NewManaged(tlb.R2000(), tlb.DefaultCosts())
+			tw := tapeworm.Attach(hw, tlbConfigs...)
+			tsink := &tlbOnly{hw: hw}
+			both := meterRefs(trace.Tee{engine, tsink}, refsStreamed)
+			tail := meterRefs(trace.Sink(tsink), refsStreamed)
+			reset := func() {
+				hw.ResetService()
+				tw.ResetServices()
+				tsink.instrs = 0
+			}
+			if entry != nil {
+				modelSec, tailSec, err = replayPhases(ctx, entry, both, tail, reset, lane)
+			} else {
+				sys := osmodel.NewSystem(osmodel.Mach, spec)
+				modelSec, tailSec, err = generatePhases(ctx, sys, refsEach, both, tail, reset, rec, lane)
+			}
+			flushMeter(both)
+			flushMeter(tail)
+			stageModel.Add(modelSec)
+			stageTapeworm.Add(tailSec)
+			if err != nil {
+				return nil, nil, modelSec, tailSec, err
+			}
+			return engine, tw.Results(), modelSec, tailSec, nil
+		}
 
-		start := time.Now()
-		// Phase 1: to the tapeworm warm-up boundary E1.
-		warm := lane.Start("generate.warmup")
-		e1 := sys.Generate(refsEach/3, both)
-		warm.End()
-		if ctx.Err() != nil {
-			return nil, nil, 0, 0, ctx.Err()
+		if opt.TraceCache == nil {
+			return attempt(nil, nil)
 		}
-		hw.ResetService()
-		tw.ResetServices()
-		tsink.instrs = 0
-		// Phase 2: to the cache sweeps' boundary E (e1 can already be
-		// past it when iterations are long; Generate must only be asked
-		// for a positive count).
-		measure := lane.Start("generate.measure")
-		total := e1
-		if refsEach > total {
-			total += sys.Generate(refsEach-total, both)
+		key := sweepTraceKey(osmodel.Mach, spec, refsEach)
+		if entry := opt.TraceCache.OpenEntry(key); entry != nil {
+			engine, results, modelSec, tailSec, err = attempt(entry, nil)
+			entry.Close()
+			if err == nil || !errors.Is(err, tracecache.ErrCorrupt) {
+				return
+			}
+			opt.progressf("sweep: %s cached trace unusable, regenerating: %v", spec.Name, err)
 		}
-		measure.End()
-		if ctx.Err() != nil {
-			return nil, nil, 0, 0, ctx.Err()
+		rec, werr := opt.TraceCache.NewWriter(key)
+		if werr != nil {
+			opt.progressf("sweep: %s trace recording disabled: %v", spec.Name, werr)
+			return attempt(nil, nil)
 		}
-		flushMeter(both)
-		modelSec = time.Since(start).Seconds()
-		stageModel.Add(modelSec)
-
-		// Phase 3: tapeworm-only tail to its measurement boundary E2.
-		start = time.Now()
-		tw3 := lane.Start("tapeworm.tail")
-		tail := meterRefs(trace.Sink(tsink), refsStreamed)
-		if n := e1 + refsEach - total; n > 0 {
-			sys.Generate(n, tail)
+		defer rec.Abort() // no-op once committed
+		engine, results, modelSec, tailSec, err = attempt(nil, rec)
+		if err == nil {
+			if cerr := rec.Commit(); cerr != nil {
+				opt.progressf("sweep: %s trace not cached: %v", spec.Name, cerr)
+			}
 		}
-		flushMeter(tail)
-		tw3.End()
-		tailSec = time.Since(start).Seconds()
-		stageTapeworm.Add(tailSec)
-		return engine, tw.Results(), modelSec, tailSec, nil
+		return
 	}
 
 	// The per-workload sweeps are independent; run them concurrently
@@ -242,6 +271,101 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) (*search.
 		m.TLB[c] = float64(tlbCycles[c]) / n
 	}
 	return m, failed, nil
+}
+
+// sweepTraceKey content-addresses one workload's generated stream for
+// the trace cache. The Model fingerprint folds in every spec
+// parameter, so tuning a workload mix re-keys its entries even at an
+// unchanged seed.
+func sweepTraceKey(v osmodel.Variant, spec osmodel.WorkloadSpec, refs int) tracecache.Key {
+	return tracecache.Key{
+		Workload: spec.Name,
+		OS:       v.String(),
+		Seed:     spec.Seed,
+		Refs:     refs,
+		Model:    fmt.Sprintf("%+v", spec),
+	}
+}
+
+// generatePhases drives the three-phase generation plan (see the
+// window-reproduction comment in buildMeasuredModel) into the sweep
+// sinks: phases 1-2 feed both (cache engine + TLB), phase 3 feeds only
+// tail. reset runs at the warm-up boundary E1. A non-nil rec records
+// the stream with the two phase boundaries as segment marks, so
+// replayPhases can reproduce the exact windows later.
+func generatePhases(ctx context.Context, sys *osmodel.System, refsEach int, both, tail trace.Sink, reset func(), rec *tracecache.Writer, lane *spans.Lane) (modelSec, tailSec float64, err error) {
+	if rec != nil {
+		both = trace.Tee{both, rec}
+		tail = trace.Tee{tail, rec}
+	}
+	start := time.Now()
+	// Phase 1: to the tapeworm warm-up boundary E1.
+	warm := lane.Start("generate.warmup")
+	e1 := sys.Generate(refsEach/3, both)
+	warm.End()
+	if ctx.Err() != nil {
+		return time.Since(start).Seconds(), 0, ctx.Err()
+	}
+	if rec != nil {
+		rec.EndSegment()
+	}
+	reset()
+	// Phase 2: to the cache sweeps' boundary E (e1 can already be past
+	// it when iterations are long; Generate must only be asked for a
+	// positive count).
+	measure := lane.Start("generate.measure")
+	total := e1
+	if refsEach > total {
+		total += sys.Generate(refsEach-total, both)
+	}
+	measure.End()
+	if ctx.Err() != nil {
+		return time.Since(start).Seconds(), 0, ctx.Err()
+	}
+	if rec != nil {
+		rec.EndSegment()
+	}
+	modelSec = time.Since(start).Seconds()
+
+	// Phase 3: tapeworm-only tail to its measurement boundary E2.
+	start = time.Now()
+	tw3 := lane.Start("tapeworm.tail")
+	if n := e1 + refsEach - total; n > 0 {
+		sys.Generate(n, tail)
+	}
+	tw3.End()
+	return modelSec, time.Since(start).Seconds(), ctx.Err()
+}
+
+// replayPhases reproduces the three-phase plan from a cached trace
+// entry: one recorded segment per phase, reset at the first boundary.
+// Any error matching tracecache.ErrCorrupt means the sinks saw a
+// partial stream and the caller must regenerate from scratch.
+func replayPhases(ctx context.Context, entry *tracecache.Entry, both, tail trace.Sink, reset func(), lane *spans.Lane) (modelSec, tailSec float64, err error) {
+	segment := func(name string, sink trace.Sink, wantLast bool) error {
+		span := lane.Start(name)
+		_, last, err := entry.ReplaySegment(ctx, sink)
+		span.End()
+		if err != nil {
+			return err
+		}
+		if last != wantLast {
+			return fmt.Errorf("%w: segment layout does not match the sweep's phase plan", tracecache.ErrCorrupt)
+		}
+		return nil
+	}
+	start := time.Now()
+	if err := segment("replay.warmup", both, false); err != nil {
+		return time.Since(start).Seconds(), 0, err
+	}
+	reset()
+	if err := segment("replay.measure", both, false); err != nil {
+		return time.Since(start).Seconds(), 0, err
+	}
+	modelSec = time.Since(start).Seconds()
+	start = time.Now()
+	err = segment("replay.tail", tail, true)
+	return modelSec, time.Since(start).Seconds(), err
 }
 
 // meterRefs threads a sweep sink through a batched reference counter:

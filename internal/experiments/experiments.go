@@ -15,6 +15,7 @@ import (
 	"onchip/internal/search"
 	"onchip/internal/spans"
 	"onchip/internal/telemetry"
+	"onchip/internal/tracecache"
 )
 
 // Options controls experiment scale and observability.
@@ -72,6 +73,18 @@ type Options struct {
 	// retried before it is marked failed and excluded from the model.
 	// Zero means no retries.
 	FaultRetries int
+	// TraceCache, when non-nil, short-circuits workload reference
+	// generation in the model-building sweeps: a warm run replays the
+	// compressed on-disk stream (byte-identical to a live generation, so
+	// the tables do not change), a cold run records it. Corrupt entries
+	// fall back to regeneration.
+	TraceCache *tracecache.Cache
+	// Shards forces the sweep engine's per-group set-shard count
+	// (rounded down to a power of two; each simulator group additionally
+	// clamps to its set count). Zero picks an automatic count from the
+	// worker-pool width. Sharding never changes results, only how the
+	// simulation parallelizes.
+	Shards int
 }
 
 // ctx returns the experiment context, never nil.

@@ -49,7 +49,7 @@ func TestSweepChromeTraceGolden(t *testing.T) {
 	for _, spec := range []osmodel.WorkloadSpec{workload.MPEGPlay(), workload.MAB()} {
 		lane := tr.Lane("workload/" + spec.Name)
 		wl := lane.Start("sweep.workload")
-		engine := newSweepEngine(cacheCfgs, 8, 4, tr, "sweep/"+spec.Name)
+		engine := newSweepEngine(cacheCfgs, 8, enginePar{workers: 4, tr: tr, lanePrefix: "sweep/" + spec.Name})
 		sys := osmodel.NewSystem(osmodel.Mach, spec)
 		warm := lane.Start("generate.warmup")
 		sys.Generate(5_000, engine)

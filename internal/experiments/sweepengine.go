@@ -24,10 +24,13 @@ import (
 // per-reference interface dispatch, and the per-configuration direct
 // D-cache simulation, while producing bit-identical miss counts.
 //
-// With workers > 1 the (set count, line size) simulator groups are
-// partitioned across a private worker pool; each group still observes
-// the full stream in order, so results stay deterministic and
-// identical to the serial path.
+// In parallel mode the schedulable unit is a (simulator group, set
+// shard) pair: each (set count, line size) group is further split into
+// deterministic set-index shards (cheetah.AllAssoc.Shards), so a
+// single large group no longer bounds parallelism and one workload's
+// sweep can use the whole machine. Units are statically round-robined
+// across the pool's workers; every unit observes the full stream in
+// order, so results stay byte-identical to the serial path.
 type sweepEngine struct {
 	i      *cheetah.Sweep
 	d      *cheetah.DataSweep
@@ -36,47 +39,119 @@ type sweepEngine struct {
 	ikeys []uint64
 	dkeys []uint64
 	one   [1]trace.Ref
-	pool  *groupPool
+
+	pool     *groupPool
+	ownsPool bool
+	// perWorker[w] is the fixed set of units worker w simulates for
+	// every batch; static assignment keeps worker lanes deterministic.
+	perWorker [][]shardUnit
+	shards    int // set shards requested per group (groups clamp to their set count)
+
+	batch    sync.WaitGroup // per-batch barrier
+	panicMu  sync.Mutex
+	panicked any // first captured worker panic, re-raised after the barrier
 }
 
-// sweepWorkers sizes the per-workload group pool: the model-building
-// sweep already runs `concurrent` workloads in parallel, so each
-// workload gets its share of the machine and parallelism inside a
-// workload only helps when cores would otherwise idle. The result is
-// additionally clamped to `groups`, the number of independent simulator
-// shards the pool could hand out (per cheetah.GroupCount, I- plus
-// D-stream), so tiny sweeps don't spin workers that would only ever
-// block on the batch barrier.
-func sweepWorkers(concurrent, groups int) int {
-	if concurrent < 1 {
-		concurrent = 1
+// enginePar configures the engine's parallel execution. The zero value
+// is the serial engine.
+type enginePar struct {
+	// pool, when non-nil, is a shared worker pool (the model-building
+	// sweep runs one pool for all workloads so cores freed by finished
+	// workloads flow to the stragglers). Otherwise workers > 1 starts a
+	// private pool that close() stops.
+	pool    *groupPool
+	workers int
+	// shards is the per-group set-shard count (rounded to a power of
+	// two; each group additionally clamps to its set count); 0 picks
+	// autoShards from the pool width.
+	shards int
+	// tr/lanePrefix instrument a private pool's workers with lanes
+	// named "<lanePrefix>.worker.<N>" (one span per consumed batch,
+	// feeding the /spans utilization and imbalance summary).
+	tr         *spans.Tracer
+	lanePrefix string
+}
+
+// sweepWorkers sizes a sweep pool: the whole machine, clamped to the
+// number of schedulable units that could keep workers busy (<= 0 means
+// unclamped). The model-building sweep shares one pool across every
+// concurrent workload, so the tail of a sweep -- when most workloads
+// have finished -- no longer strands cores on a divided-up allowance.
+func sweepWorkers(units int) int {
+	w := runtime.NumCPU()
+	if units > 0 && w > units {
+		w = units
 	}
-	w := runtime.NumCPU() / concurrent
 	if w < 1 {
 		w = 1
-	}
-	if groups > 0 && w > groups {
-		w = groups
 	}
 	return w
 }
 
-// newSweepEngine builds the fused engine over the configurations. With
-// workers > 1 it starts a group pool; callers must close() the engine
-// when done with it. A non-nil tracer gives each pool worker a lane
-// named "<lanePrefix>.worker.<N>" recording one span per consumed
-// batch, which feeds the /spans per-worker utilization and
-// shard-imbalance summary; a nil tracer records nothing.
-func newSweepEngine(configs []area.CacheConfig, maxAssoc, workers int, tr *spans.Tracer, lanePrefix string) *sweepEngine {
+// autoShards picks the per-group set-shard count: the smallest power
+// of two giving at least two work units per pool worker, so the
+// per-batch barrier does not serialize on one straggler group, capped
+// at 8 -- past that the per-shard filter pass over the shared batch
+// outweighs the spare parallelism.
+func autoShards(workers, groups int) int {
+	s := 1
+	for s < 8 && groups*s < 2*workers {
+		s <<= 1
+	}
+	return s
+}
+
+// shardUnit is one schedulable piece of the engine: a set shard of one
+// I-stream or D-stream simulator group (exactly one field is non-nil).
+type shardUnit struct {
+	i *cheetah.AllAssocShard
+	d *cheetah.AllAssocDataShard
+}
+
+// newSweepEngine builds the fused engine over the configurations.
+// Callers must close() the engine when done with it (a no-op for the
+// serial engine or a shared pool).
+func newSweepEngine(configs []area.CacheConfig, maxAssoc int, par enginePar) *sweepEngine {
 	e := &sweepEngine{
 		i: cheetah.NewSweep(configs, maxAssoc),
 		d: cheetah.NewDataSweep(configs),
 	}
-	if groups := e.i.Simulators() + e.d.Simulators(); workers > groups {
-		workers = groups
+	if par.pool == nil && par.workers <= 1 {
+		e.shards = 1
+		return e
 	}
-	if workers > 1 {
-		e.pool = newGroupPool(e.i.Groups(), e.d.Groups(), workers, tr, lanePrefix)
+	width := par.workers
+	if par.pool != nil {
+		width = par.pool.workers()
+	}
+	groups := e.i.Simulators() + e.d.Simulators()
+	e.shards = par.shards
+	if e.shards <= 0 {
+		e.shards = autoShards(width, groups)
+	}
+	var units []shardUnit
+	for _, g := range e.i.Groups() {
+		for _, s := range g.Shards(e.shards) {
+			units = append(units, shardUnit{i: s})
+		}
+	}
+	for _, g := range e.d.Groups() {
+		for _, s := range g.Shards(e.shards) {
+			units = append(units, shardUnit{d: s})
+		}
+	}
+	e.pool = par.pool
+	if e.pool == nil {
+		if width > len(units) {
+			width = len(units)
+		}
+		e.pool = newGroupPool(width, par.tr, par.lanePrefix)
+		e.ownsPool = true
+	}
+	e.perWorker = make([][]shardUnit, e.pool.workers())
+	for idx, u := range units {
+		w := idx % len(e.perWorker)
+		e.perWorker[w] = append(e.perWorker[w], u)
 	}
 	return e
 }
@@ -94,11 +169,34 @@ func (e *sweepEngine) Refs(refs []trace.Ref) {
 	}
 	e.instrs += uint64(len(e.ikeys))
 	if e.pool != nil {
-		e.pool.run(e.ikeys, e.dkeys)
+		e.runBatch()
 		return
 	}
 	e.i.AccessKeys(e.ikeys)
 	e.d.AccessPacked(e.dkeys)
+}
+
+// runBatch fans the translated batch out to the pool and waits for
+// every unit to consume it before the shared key slices are reused.
+func (e *sweepEngine) runBatch() {
+	n := 0
+	for _, units := range e.perWorker {
+		if len(units) > 0 {
+			n++
+		}
+	}
+	e.batch.Add(n)
+	for w, units := range e.perWorker {
+		if len(units) == 0 {
+			continue
+		}
+		e.pool.chans[w] <- groupJob{units: units, ikeys: e.ikeys, dkeys: e.dkeys, e: e}
+	}
+	e.batch.Wait()
+	if v := e.panicked; v != nil {
+		e.panicked = nil
+		panic(v)
+	}
 }
 
 // Ref implements trace.Sink for producers that do not batch.
@@ -114,107 +212,83 @@ func (e *sweepEngine) iMisses(c area.CacheConfig) uint64 { return e.i.Misses(c) 
 // configuration under the write-through, no-write-allocate policy.
 func (e *sweepEngine) dReadMisses(c area.CacheConfig) uint64 { return e.d.ReadMisses(c) }
 
-// close stops the group pool, if any. The miss counts remain readable.
+// close stops the engine's private pool, if any; shared pools belong
+// to their creator. The miss counts remain readable.
 func (e *sweepEngine) close() {
-	if e.pool != nil {
+	if e.ownsPool {
 		e.pool.close()
-		e.pool = nil
+		e.ownsPool = false
 	}
+	e.pool = nil
 }
 
-// groupPool fans one batch of translated keys out to workers that each
-// own a disjoint subset of the simulator groups. Determinism is free:
-// the groups are independent, and the per-batch barrier means every
-// group has consumed the batch before the shared key slices are
-// reused.
+// groupPool is a set of simulation workers, each owning one job
+// channel. Engines assign their (group, shard) units statically across
+// the workers and submit every batch as one job per worker; the
+// per-engine barrier means a unit never sees two batches out of order
+// even when several engines share the pool. Determinism is free: units
+// touch disjoint simulator state, and each unit sees the full stream
+// in order on a single worker.
 type groupPool struct {
 	chans  []chan groupJob
-	batch  sync.WaitGroup // per-batch barrier
-	exited sync.WaitGroup // worker shutdown
-	panics []any          // one slot per worker, read after the barrier
+	exited sync.WaitGroup
 }
 
+// groupJob is one engine's batch for one worker's units.
 type groupJob struct {
+	units        []shardUnit
 	ikeys, dkeys []uint64
+	e            *sweepEngine
 }
 
-type groupShard struct {
-	i []*cheetah.AllAssoc
-	d []*cheetah.AllAssocData
-}
-
-func newGroupPool(igroups []*cheetah.AllAssoc, dgroups []*cheetah.AllAssocData, workers int, tr *spans.Tracer, lanePrefix string) *groupPool {
-	// Round-robin the groups across shards, continuing the rotation from
-	// the I-groups into the D-groups so no shard collects a systematic
-	// excess of either kind.
-	shards := make([]groupShard, workers)
-	for idx, g := range igroups {
-		shards[idx%workers].i = append(shards[idx%workers].i, g)
-	}
-	for idx, g := range dgroups {
-		w := (idx + len(igroups)) % workers
-		shards[w].d = append(shards[w].d, g)
-	}
-	p := &groupPool{panics: make([]any, workers)}
-	for w := range shards {
-		ch := make(chan groupJob)
+// newGroupPool starts `workers` simulation workers. A non-nil tracer
+// gives each worker a lane named "<lanePrefix>.worker.<N>" recording
+// one span per consumed job, which feeds the /spans per-worker
+// utilization and shard-imbalance summary; a nil tracer records
+// nothing.
+func newGroupPool(workers int, tr *spans.Tracer, lanePrefix string) *groupPool {
+	p := &groupPool{}
+	for w := 0; w < workers; w++ {
+		ch := make(chan groupJob, 1)
 		p.chans = append(p.chans, ch)
 		p.exited.Add(1)
-		ws := workerState{w: w, shard: shards[w],
-			lane: tr.WorkerLane(lanePrefix + ".worker." + strconv.Itoa(w))}
-		go p.worker(ws, ch)
+		lane := tr.WorkerLane(lanePrefix + ".worker." + strconv.Itoa(w))
+		go p.worker(lane, ch)
 	}
 	return p
 }
 
-// workerState pairs a worker's shard with its span lane (nil when
-// untraced).
-type workerState struct {
-	w     int
-	shard groupShard
-	lane  *spans.Lane
-}
+// workers returns the pool width.
+func (p *groupPool) workers() int { return len(p.chans) }
 
-func (p *groupPool) worker(ws workerState, ch chan groupJob) {
+func (p *groupPool) worker(lane *spans.Lane, ch chan groupJob) {
 	defer p.exited.Done()
 	for job := range ch {
-		p.consume(ws, job)
+		job.run(lane)
 	}
 }
 
-// consume runs one job, capturing a panic into the worker's slot so run
-// can re-raise it on the calling goroutine (where the sweep's fault
-// recovery can see it) instead of crashing the process. Each job is one
-// top-level span on the worker's lane, so lane busy time sums to the
-// worker's real simulation time.
-func (p *groupPool) consume(ws workerState, job groupJob) {
-	span := ws.lane.Start("sweep.job")
+// run consumes one job, capturing a panic into the owning engine so
+// runBatch can re-raise it on the submitting goroutine (where the
+// sweep's fault recovery can see it) instead of crashing the process.
+func (j groupJob) run(lane *spans.Lane) {
+	span := lane.Start("sweep.job")
 	defer func() {
 		if v := recover(); v != nil {
-			p.panics[ws.w] = v
+			j.e.panicMu.Lock()
+			if j.e.panicked == nil {
+				j.e.panicked = v
+			}
+			j.e.panicMu.Unlock()
 		}
 		span.End()
-		p.batch.Done()
+		j.e.batch.Done()
 	}()
-	for _, g := range ws.shard.i {
-		g.AccessKeys(job.ikeys)
-	}
-	for _, g := range ws.shard.d {
-		g.AccessPacked(job.dkeys)
-	}
-}
-
-// run distributes one batch and waits for every worker to finish it.
-func (p *groupPool) run(ikeys, dkeys []uint64) {
-	p.batch.Add(len(p.chans))
-	job := groupJob{ikeys: ikeys, dkeys: dkeys}
-	for _, ch := range p.chans {
-		ch <- job
-	}
-	p.batch.Wait()
-	for _, v := range p.panics {
-		if v != nil {
-			panic(v)
+	for _, u := range j.units {
+		if u.i != nil {
+			u.i.AccessKeys(j.ikeys)
+		} else {
+			u.d.AccessPacked(j.dkeys)
 		}
 	}
 }

@@ -78,7 +78,7 @@ func TestFusedSweepMatchesLegacyPasses(t *testing.T) {
 	legacyTW, _ := runTapeworm(osmodel.Mach, spec, refsEach, tlbConfigs, nil)
 
 	// Fused: one generation, batched, parallel simulator groups.
-	engine := newSweepEngine(cacheCfgs, 8, 4, nil, "")
+	engine := newSweepEngine(cacheCfgs, 8, enginePar{workers: 4})
 	defer engine.close()
 	hw := tlb.NewManaged(tlb.R2000(), tlb.DefaultCosts())
 	tw := tapeworm.Attach(hw, tlbConfigs...)
@@ -118,25 +118,38 @@ func TestFusedSweepMatchesLegacyPasses(t *testing.T) {
 }
 
 // TestSweepEngineParallelMatchesSerial pins the determinism claim of
-// the group pool: any worker count produces the counts of the serial
-// engine.
+// the group pool: any worker count, shard count, and pool arrangement
+// (private or shared) produces the counts of the serial engine.
 func TestSweepEngineParallelMatchesSerial(t *testing.T) {
 	cacheCfgs := search.Table5().CacheConfigs()
-	serial := newSweepEngine(cacheCfgs, 8, 1, nil, "")
-	parallel := newSweepEngine(cacheCfgs, 8, 6, nil, "")
-	defer parallel.close()
-	sinks := trace.Tee{serial, parallel}
-	osmodel.NewSystem(osmodel.Mach, workload.MAB()).Generate(60_000, sinks)
-	for _, c := range cacheCfgs {
-		if serial.iMisses(c) != parallel.iMisses(c) {
-			t.Errorf("%v: I-misses serial %d, parallel %d", c, serial.iMisses(c), parallel.iMisses(c))
-		}
-		if serial.dReadMisses(c) != parallel.dReadMisses(c) {
-			t.Errorf("%v: D-misses serial %d, parallel %d", c, serial.dReadMisses(c), parallel.dReadMisses(c))
-		}
+	shared := newGroupPool(3, nil, "")
+	defer shared.close()
+	serial := newSweepEngine(cacheCfgs, 8, enginePar{})
+	variants := map[string]*sweepEngine{
+		"private-6":          newSweepEngine(cacheCfgs, 8, enginePar{workers: 6}),
+		"private-4-shards-4": newSweepEngine(cacheCfgs, 8, enginePar{workers: 4, shards: 4}),
+		"private-2-shards-8": newSweepEngine(cacheCfgs, 8, enginePar{workers: 2, shards: 8}),
+		"shared-3":           newSweepEngine(cacheCfgs, 8, enginePar{pool: shared}),
+		"shared-3-shards-2":  newSweepEngine(cacheCfgs, 8, enginePar{pool: shared, shards: 2}),
 	}
-	if serial.instrs != parallel.instrs {
-		t.Errorf("instrs: serial %d, parallel %d", serial.instrs, parallel.instrs)
+	sinks := trace.Tee{serial}
+	for _, e := range variants {
+		sinks = append(sinks, e)
+		defer e.close()
+	}
+	osmodel.NewSystem(osmodel.Mach, workload.MAB()).Generate(60_000, sinks)
+	for name, parallel := range variants {
+		for _, c := range cacheCfgs {
+			if serial.iMisses(c) != parallel.iMisses(c) {
+				t.Errorf("%s %v: I-misses serial %d, parallel %d", name, c, serial.iMisses(c), parallel.iMisses(c))
+			}
+			if serial.dReadMisses(c) != parallel.dReadMisses(c) {
+				t.Errorf("%s %v: D-misses serial %d, parallel %d", name, c, serial.dReadMisses(c), parallel.dReadMisses(c))
+			}
+		}
+		if serial.instrs != parallel.instrs {
+			t.Errorf("%s: instrs serial %d, parallel %d", name, serial.instrs, parallel.instrs)
+		}
 	}
 }
 
