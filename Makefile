@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench race fuzz crossval check clean
+.PHONY: all build test vet bench bench-advisor race fuzz crossval check clean
 
 all: build
 
@@ -29,6 +29,14 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 	BENCH_SWEEP_JSON=$(CURDIR)/BENCH_sweep.json $(GO) test -run TestSweepBenchArtifact -count=1 -v ./internal/experiments/
+
+# bench-advisor fires the chaos harness's seeded client storm at the
+# advisor daemon over the real pipeline and records BENCH_advisor.json
+# (p50/p99 latency, req/s, shed rate, cache hit rate). The harness's
+# correctness gate applies: any 200 that is not byte-identical to a
+# direct run fails the target.
+bench-advisor:
+	BENCH_ADVISOR_JSON=$(CURDIR)/BENCH_advisor.json $(GO) test -run TestBenchAdvisorArtifact -count=1 -v ./internal/chaos/
 
 fuzz:
 	$(GO) test -fuzz=FuzzTrace -fuzztime=20s -run=FuzzTrace ./internal/trace/

@@ -206,6 +206,7 @@ func run() int {
 			return 1
 		}
 		tc.Describe(opt.Metrics)
+		tc.SetLogWriter(os.Stderr) // corrupt entries log their content address
 		opt.TraceCache = tc
 	}
 	if *traceFile != "" || *serveAddr != "" {

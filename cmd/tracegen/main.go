@@ -189,6 +189,7 @@ func generate(ctx context.Context, wl, osName string, refs int, out, cacheDir st
 			return err
 		}
 		cache.Describe(reg)
+		cache.SetLogWriter(os.Stderr)
 		// The same address the model-building sweep uses, so tracegen and
 		// memalloc -trace-cache share entries for equal (workload, OS,
 		// refs) runs.
@@ -215,6 +216,7 @@ func generate(ctx context.Context, wl, osName string, refs int, out, cacheDir st
 				return nil
 			case errors.Is(err, tracecache.ErrCorrupt):
 				fmt.Fprintf(os.Stderr, "tracegen: corrupt cache entry for %s/%s, regenerating: %v\n", spec.Name, v, err)
+				cache.Evict(key)
 			default:
 				return err
 			}

@@ -1,0 +1,131 @@
+package advisor
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed passes traffic through the protected dependency.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen routes around the dependency until the cooldown ends.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe through; its outcome
+	// decides between Closed and another Open period.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	}
+	return "half-open"
+}
+
+// Breaker is a consecutive-failure circuit breaker guarding an
+// optional dependency -- here the trace cache's disk I/O. While open,
+// Allow reports false and the advisor runs live regeneration instead
+// of touching the failing store; after Cooldown one probe request is
+// allowed through, and its outcome either closes the breaker or opens
+// it for another cooldown. All methods are safe for concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+// NewBreaker returns a closed breaker that opens after threshold
+// consecutive failures and probes again after cooldown. A threshold
+// below 1 is raised to 1.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// setClock installs a test clock.
+func (b *Breaker) setClock(now func() time.Time) { b.now = now }
+
+// Allow reports whether the caller may use the protected dependency.
+// In the open state it returns false until the cooldown has elapsed,
+// then admits a single probe (transitioning to half-open); concurrent
+// callers during a probe are refused so one request at a time decides
+// the breaker's fate.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a successful use of the dependency: it resets the
+// failure streak and, after a half-open probe, closes the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	b.state = BreakerClosed
+}
+
+// Failure records a failed use. While closed it counts toward the
+// consecutive-failure threshold; a failed half-open probe reopens the
+// breaker for a fresh cooldown.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerOpen:
+		// Late failure from a request that started before the trip.
+	}
+}
+
+// trip opens the breaker; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.fails = 0
+	b.probing = false
+}
+
+// State returns the breaker's current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

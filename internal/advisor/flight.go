@@ -1,0 +1,73 @@
+package advisor
+
+import "sync"
+
+// flightResult is the rendered outcome of one advise job, delivered
+// identically to the leader and every deduplicated waiter: the same
+// status and the exact same body bytes.
+type flightResult struct {
+	status     int
+	body       []byte
+	retryAfter int // seconds; 0 suppresses the Retry-After header
+}
+
+// flightCall is one in-flight computation. done is closed exactly
+// once, after res is set; waiters observe res only through the close
+// (the happens-before edge that makes the unguarded field safe).
+type flightCall struct {
+	done chan struct{}
+	res  flightResult
+}
+
+// flightGroup is the singleflight layer: concurrent requests with the
+// same signature collapse onto one computation. Unlike the classic
+// shape, registration is fused with admission -- the admit callback
+// runs under the group lock, so exactly one leader attempts to claim
+// a pool slot and a full queue sheds the request before any flight
+// state exists.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// Join returns the call for key. If one is already in flight the
+// caller becomes a waiter (joined=true). Otherwise admit(c) is invoked
+// under the lock to claim resources for a new leader; if it reports
+// false nothing is registered and Join returns (nil, false, false) --
+// the shed path.
+func (g *flightGroup) Join(key string, admit func(*flightCall) bool) (c *flightCall, joined, admitted bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c, true, true
+	}
+	c = &flightCall{done: make(chan struct{})}
+	if !admit(c) {
+		return nil, false, false
+	}
+	g.calls[key] = c
+	return c, false, true
+}
+
+// finish publishes the result to every waiter and retires the key so
+// later requests start fresh (or hit the response cache).
+func (g *flightGroup) finish(key string, c *flightCall, res flightResult) {
+	g.mu.Lock()
+	if g.calls[key] == c {
+		delete(g.calls, key)
+	}
+	g.mu.Unlock()
+	c.res = res
+	close(c.done)
+}
+
+// Len reports the number of in-flight computations.
+func (g *flightGroup) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.calls)
+}

@@ -1,0 +1,74 @@
+package advisor
+
+import "sync"
+
+// pool is a fixed-width worker pool with a bounded admission queue.
+// Submission never blocks: when the queue is full the request is shed
+// (the caller answers 429), which keeps the daemon's memory and
+// latency bounded under overload instead of building an unbounded
+// backlog.
+type pool struct {
+	mu     sync.Mutex
+	closed bool
+	queue  chan func()
+	wg     sync.WaitGroup
+}
+
+func newPool(workers, depth int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	p := &pool{queue: make(chan func(), depth)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for job := range p.queue {
+		// Jobs carry their own panic recovery (they must deliver a
+		// result to waiters); this backstop only keeps a worker alive
+		// if a job's recovery itself fails.
+		func() {
+			defer func() { _ = recover() }()
+			job()
+		}()
+	}
+}
+
+// TrySubmit enqueues job without blocking; false means the queue is
+// full (or the pool closed) and the caller must shed the request.
+func (p *pool) TrySubmit(job func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.queue <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// QueueLen reports the number of admitted-but-unstarted jobs.
+func (p *pool) QueueLen() int { return len(p.queue) }
+
+// Close stops admission, lets queued jobs run, and waits for workers
+// to exit. Safe to call more than once.
+func (p *pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -30,25 +30,26 @@ func init() {
 	register("table7", "Table 7: best allocations with caches restricted to 1-/2-way associativity", table7)
 }
 
-// buildMeasuredModel sweeps the Table 5 design space under Mach with the
-// simulators and assembles the measured performance model the search
-// ranks with: single-pass stack-simulation sweeps for both cache
-// streams (Cheetah-style for the I-stream, the write-policy-aware
-// generalization for the D-stream) and Tapeworm for the TLBs, all fed
-// by ONE generation of each workload's reference stream through a
-// fused sweep engine (see sweepengine.go) instead of the original
-// generate-three-times, simulate-each-config-directly arrangement. The
-// miss counts -- and therefore the tables -- are bit-identical to the
-// multi-pass form; only the work to produce them shrank.
-func buildMeasuredModel(space search.Space, refsEach int, opt Options) (*search.Measured, []string, error) {
+// buildMeasuredModel sweeps the design space under the given OS
+// variant and workload suite with the simulators and assembles the
+// measured performance model the search ranks with: single-pass
+// stack-simulation sweeps for both cache streams (Cheetah-style for
+// the I-stream, the write-policy-aware generalization for the
+// D-stream) and Tapeworm for the TLBs, all fed by ONE generation of
+// each workload's reference stream through a fused sweep engine (see
+// sweepengine.go) instead of the original generate-three-times,
+// simulate-each-config-directly arrangement. The miss counts -- and
+// therefore the tables -- are bit-identical to the multi-pass form;
+// only the work to produce them shrank. Tables 6/7 pass Mach and the
+// full Table 2 suite; the advisor service passes whatever (OS,
+// workload-mix) a request names.
+func buildMeasuredModel(v osmodel.Variant, specs []osmodel.WorkloadSpec, space search.Space, refsEach int, opt Options) (*search.Measured, []string, error) {
 	cacheCfgs := space.CacheConfigs()
 	tlbCfgs := space.TLBConfigs()
 	var tlbConfigs []tlb.Config
 	for _, c := range tlbCfgs {
 		tlbConfigs = append(tlbConfigs, tlb.Config{TLBConfig: c})
 	}
-
-	specs := workload.All()
 	opt.progressf("sweep: %d workloads x (%d cache + %d TLB) configs, %d refs each",
 		len(specs), len(cacheCfgs), len(tlbCfgs), refsEach)
 
@@ -151,7 +152,7 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) (*search.
 			if entry != nil {
 				modelSec, tailSec, err = replayPhases(ctx, entry, both, tail, reset, lane)
 			} else {
-				sys := osmodel.NewSystem(osmodel.Mach, spec)
+				sys := osmodel.NewSystem(v, spec)
 				modelSec, tailSec, err = generatePhases(ctx, sys, refsEach, both, tail, reset, rec, lane)
 			}
 			flushMeter(both)
@@ -167,7 +168,7 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) (*search.
 		if opt.TraceCache == nil {
 			return attempt(nil, nil)
 		}
-		key := sweepTraceKey(osmodel.Mach, spec, refsEach)
+		key := sweepTraceKey(v, spec, refsEach)
 		if entry := opt.TraceCache.OpenEntry(key); entry != nil {
 			engine, results, modelSec, tailSec, err = attempt(entry, nil)
 			entry.Close()
@@ -175,6 +176,10 @@ func buildMeasuredModel(space search.Space, refsEach int, opt Options) (*search.
 				return
 			}
 			opt.progressf("sweep: %s cached trace unusable, regenerating: %v", spec.Name, err)
+			// Drop the bad entry now (logged with its content address)
+			// so no concurrent run trips over it before the
+			// regeneration below re-records it.
+			opt.TraceCache.Evict(key)
 		}
 		rec, werr := opt.TraceCache.NewWriter(key)
 		if werr != nil {
@@ -435,7 +440,7 @@ func runAllocation(opt Options, space search.Space, id, title string, extraNotes
 	// (the binaries open "experiment.<id>").
 	lane := opt.Spans.Lane("main")
 	modelSpan := lane.Start("sweep.model")
-	model, failedWorkloads, err := buildMeasuredModel(space, refs, opt)
+	model, failedWorkloads, err := buildMeasuredModel(osmodel.Mach, workload.All(), space, refs, opt)
 	modelSpan.End()
 	if err != nil {
 		return Result{}, fmt.Errorf("model-building sweep: %w", err)

@@ -146,14 +146,24 @@ func IsInjectedPanic(v any) (site string, ok bool) {
 // one-byte corruptions, truncation, and delays. A nil injector returns
 // r unchanged.
 func (i *Injector) Reader(r io.Reader) io.Reader {
+	return i.ReaderContext(context.Background(), r)
+}
+
+// ReaderContext is Reader with a context bounding the injected delays:
+// a cancellation interrupts a pending delay sleep promptly and the Read
+// returns ctx's error, instead of holding the caller for the full
+// injected latency. Request-scoped consumers (the advisor's sweep
+// workers) use this form so a deadline can cut through a fault burst.
+func (i *Injector) ReaderContext(ctx context.Context, r io.Reader) io.Reader {
 	if i == nil {
 		return r
 	}
-	return &faultyReader{r: r, inj: i}
+	return &faultyReader{r: r, ctx: ctx, inj: i}
 }
 
 type faultyReader struct {
 	r         io.Reader
+	ctx       context.Context
 	inj       *Injector
 	truncated bool
 }
@@ -175,7 +185,9 @@ func (f *faultyReader) Read(p []byte) (int, error) {
 
 	if delay {
 		i.delays.Inc()
-		time.Sleep(i.cfg.Delay)
+		if err := sleepCtx(f.ctx, i.cfg.Delay); err != nil {
+			return 0, err
+		}
 	}
 	if ioErr {
 		// Fail before consuming anything from the underlying reader, so
@@ -202,6 +214,15 @@ type RetryPolicy struct {
 	Attempts  int
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
+	// Jitter spreads each backoff sleep uniformly over
+	// [delay*(1-Jitter), delay*(1+Jitter)], so a fleet of retriers that
+	// failed together does not wake and retry in lockstep (the
+	// thundering-herd shape a shared-disk fault burst produces). Zero
+	// keeps the exact exponential delays.
+	Jitter float64
+	// JitterSeed seeds the jitter PRNG, keeping the full fault-plus-
+	// retry schedule reproducible. Zero selects a fixed default seed.
+	JitterSeed int64
 }
 
 // DefaultRetryPolicy retries transient I/O up to 5 times with
@@ -209,6 +230,34 @@ type RetryPolicy struct {
 // bursts at a few percent error probability without stretching runs.
 func DefaultRetryPolicy() RetryPolicy {
 	return RetryPolicy{Attempts: 5, BaseDelay: time.Millisecond, MaxDelay: 16 * time.Millisecond}
+}
+
+// Jittered returns the default policy with half-width jitter on a
+// deterministic seed: what concurrent request-serving paths (the
+// advisor's workers) use so simultaneous retriers decorrelate while
+// the schedule stays replayable.
+func Jittered(seed int64) RetryPolicy {
+	p := DefaultRetryPolicy()
+	p.Jitter = 0.5
+	p.JitterSeed = seed
+	return p
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first,
+// returning ctx's error on interruption. A nil ctx sleeps unconditionally.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Transient reports whether err is worth retrying: an injected
@@ -223,20 +272,38 @@ func Transient(err error) bool {
 }
 
 // Retry runs fn until it succeeds, returns a non-transient error, the
-// attempts are exhausted, or ctx is cancelled. The last error is
+// attempts are exhausted, or ctx is cancelled. A cancellation that
+// lands mid-backoff interrupts the pending sleep promptly (the timer
+// is raced against ctx.Done, not slept through). The last error is
 // returned on failure.
 func Retry(ctx context.Context, p RetryPolicy, fn func() error) error {
 	if p.Attempts <= 0 {
 		p.Attempts = 1
 	}
+	var jitter *rand.Rand
+	if p.Jitter > 0 {
+		seed := p.JitterSeed
+		if seed == 0 {
+			seed = 1
+		}
+		jitter = rand.New(rand.NewSource(seed))
+	}
 	delay := p.BaseDelay
 	var err error
 	for attempt := 0; attempt < p.Attempts; attempt++ {
 		if attempt > 0 {
+			d := delay
+			if jitter != nil {
+				// Uniform over [d*(1-J), d*(1+J)], never negative.
+				d = time.Duration(float64(d) * (1 - p.Jitter + 2*p.Jitter*jitter.Float64()))
+				if d < 0 {
+					d = 0
+				}
+			}
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(delay):
+			case <-time.After(d):
 			}
 			if delay *= 2; p.MaxDelay > 0 && delay > p.MaxDelay {
 				delay = p.MaxDelay
@@ -253,20 +320,30 @@ func Retry(ctx context.Context, p RetryPolicy, fn func() error) error {
 // place with the policy's backoff; the stream position is unchanged
 // across retried calls (transient failures consume nothing), so the
 // consumer above never observes them. Non-transient errors pass
-// through.
+// through. The retries are unbounded in time; request-scoped readers
+// should use RetryReaderContext so a deadline or cancellation cuts a
+// pending backoff short.
 func RetryReader(r io.Reader, p RetryPolicy) io.Reader {
-	return &retryReader{r: r, p: p}
+	return RetryReaderContext(context.Background(), r, p)
+}
+
+// RetryReaderContext is RetryReader bound to a context: a cancellation
+// interrupts any pending backoff sleep promptly and the Read returns
+// ctx's error.
+func RetryReaderContext(ctx context.Context, r io.Reader, p RetryPolicy) io.Reader {
+	return &retryReader{r: r, ctx: ctx, p: p}
 }
 
 type retryReader struct {
-	r io.Reader
-	p RetryPolicy
+	r   io.Reader
+	ctx context.Context
+	p   RetryPolicy
 }
 
 func (rr *retryReader) Read(p []byte) (int, error) {
 	var n int
 	var rerr error
-	err := Retry(context.Background(), rr.p, func() error {
+	err := Retry(rr.ctx, rr.p, func() error {
 		n, rerr = rr.r.Read(p)
 		if n > 0 {
 			// Data was consumed; stop retrying and deliver it (with the

@@ -221,6 +221,116 @@ func TestIsInjectedPanicRejectsRealPanics(t *testing.T) {
 	}
 }
 
+// A cancellation arriving while Retry sleeps between attempts must
+// interrupt the pending backoff promptly, not ride out the full delay.
+func TestRetryCancellationInterruptsPendingBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- Retry(ctx, RetryPolicy{Attempts: 3, BaseDelay: time.Hour, Jitter: 0.5}, func() error {
+			select {
+			case <-started:
+			default:
+				close(started)
+			}
+			return ErrInjected
+		})
+	}()
+	<-started // the first attempt failed; Retry is now in its backoff sleep
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("interrupted retry returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not interrupt an hour-long pending backoff")
+	}
+}
+
+// The same prompt-interrupt contract holds for a context-bound retry
+// reader stuck in backoff against a persistently failing stream.
+func TestRetryReaderContextCancellationIsPrompt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := RetryReaderContext(ctx, failingReader{}, RetryPolicy{Attempts: 10, BaseDelay: time.Hour})
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Read(make([]byte, 8))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the first attempt fail and the backoff start
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled retry reader returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not interrupt the retry reader's pending backoff")
+	}
+}
+
+type failingReader struct{}
+
+func (failingReader) Read([]byte) (int, error) { return 0, ErrInjected }
+
+// An injected delay sleep must also yield to the reader's context.
+func TestReaderContextInterruptsInjectedDelay(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	inj := New(Config{Seed: 11, DelayProb: 1, Delay: time.Hour})
+	r := inj.ReaderContext(ctx, bytes.NewReader(bytes.Repeat([]byte{1}, 64)))
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Read(make([]byte, 16))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled delayed read returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not interrupt an hour-long injected delay")
+	}
+}
+
+// Jitter must decorrelate delays without breaking determinism: the
+// same seed gives the same schedule, different seeds (usually) differ,
+// and every jittered delay stays within the +/-Jitter envelope.
+func TestJitteredBackoffDeterministicAndBounded(t *testing.T) {
+	measure := func(seed int64) []time.Duration {
+		var gaps []time.Duration
+		last := time.Now()
+		Retry(context.Background(), RetryPolicy{
+			Attempts: 4, BaseDelay: 20 * time.Millisecond, MaxDelay: 200 * time.Millisecond,
+			Jitter: 0.5, JitterSeed: seed,
+		}, func() error {
+			now := time.Now()
+			gaps = append(gaps, now.Sub(last))
+			last = now
+			return ErrInjected
+		})
+		return gaps[1:] // the first call has no preceding backoff
+	}
+	gaps := measure(7)
+	if len(gaps) != 3 {
+		t.Fatalf("expected 3 backoff gaps, got %d", len(gaps))
+	}
+	base := 20 * time.Millisecond
+	for i, g := range gaps {
+		lo := time.Duration(float64(base) * 0.5)
+		// Generous upper bound: envelope max plus scheduler slack.
+		hi := time.Duration(float64(base)*1.5) + 200*time.Millisecond
+		if g < lo || g > hi {
+			t.Errorf("jittered gap %d = %v outside [%v, %v]", i, g, lo, hi)
+		}
+		base *= 2
+	}
+}
+
 func TestDescribePublishesCounters(t *testing.T) {
 	inj := New(Config{Seed: 2, TruncateProb: 1})
 	reg := telemetry.NewRegistry()

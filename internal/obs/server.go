@@ -52,6 +52,60 @@ type Config struct {
 	Spans *spans.Tracer
 }
 
+// HTTP hardening limits shared by every embedded server in the
+// repository (the observability plane here, and the advisor daemon).
+// Without them a slow or malicious client can hold a connection -- and
+// the goroutine serving it -- open indefinitely: drip-feeding a request
+// header, never reading the response, or posting an unbounded body.
+const (
+	// ReadHeaderTimeout bounds how long a client may take to send the
+	// request headers (the classic slowloris hold).
+	ReadHeaderTimeout = 5 * time.Second
+	// ReadTimeout bounds reading the entire request, body included.
+	ReadTimeout = 30 * time.Second
+	// WriteTimeout bounds writing the response. Handlers that
+	// legitimately stream longer (the /events SSE tail, a long advisor
+	// computation) extend their own deadline via ExtendWriteDeadline.
+	WriteTimeout = 30 * time.Second
+	// IdleTimeout reaps keep-alive connections with no request in
+	// flight.
+	IdleTimeout = 120 * time.Second
+	// MaxHeaderBytes caps the request header size.
+	MaxHeaderBytes = 16 << 10
+	// MaxBodyBytes caps any request body; requests past it fail with
+	// 413 via http.MaxBytesHandler.
+	MaxBodyBytes = 1 << 20
+)
+
+// NewHTTPServer returns an *http.Server with the shared hardening
+// limits applied around h: header/read/write/idle timeouts and
+// header/body size caps. Every listener in the repository goes through
+// here so the limits stay in one place.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           http.MaxBytesHandler(h, MaxBodyBytes),
+		ReadHeaderTimeout: ReadHeaderTimeout,
+		ReadTimeout:       ReadTimeout,
+		WriteTimeout:      WriteTimeout,
+		IdleTimeout:       IdleTimeout,
+		MaxHeaderBytes:    MaxHeaderBytes,
+	}
+}
+
+// ExtendWriteDeadline pushes the connection's write deadline d into
+// the future (zero d clears it entirely), letting a handler that
+// legitimately outlives WriteTimeout -- an SSE stream, a long advisor
+// computation -- keep its connection while every other response stays
+// bounded. Unsupported writers (test recorders) are a no-op.
+func ExtendWriteDeadline(w http.ResponseWriter, d time.Duration) {
+	rc := http.NewResponseController(w)
+	var t time.Time
+	if d > 0 {
+		t = time.Now().Add(d)
+	}
+	rc.SetWriteDeadline(t) // best effort; ErrNotSupported on recorders
+}
+
 // Server is the embeddable observability endpoint. Create one with New,
 // mount Handler on any mux or call Start to listen-and-serve, feed
 // sweep progress through ObserveSweep, and Close when the run ends.
@@ -149,7 +203,7 @@ func (s *Server) Start(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	s.httpSrv = &http.Server{Handler: s.Handler()}
+	s.httpSrv = NewHTTPServer(s.Handler())
 	go s.httpSrv.Serve(ln)
 	s.StartSampler()
 	return ln.Addr().String(), nil
@@ -458,6 +512,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
+	// The stream outlives the server's WriteTimeout by design; clear
+	// the deadline for this connection only. The client's departure
+	// still ends the handler via r.Context().
+	ExtendWriteDeadline(w, 0)
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 

@@ -4,9 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
-	"hash/fnv"
 	"os"
 	"path/filepath"
+
+	"onchip/internal/sig"
 )
 
 // The checkpoint file is a one-line header followed by a JSON body:
@@ -113,20 +114,17 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 // spaceSignature fingerprints everything the enumeration's output
 // depends on: the geometry, area, and CPI contribution of every priced
 // TLB and cache configuration, and the budget. Two sweeps with the same
-// signature produce identical rankings.
+// signature produce identical rankings. The hash is the shared sig
+// idiom (FNV-64a over "%v|" renderings), so signatures written by the
+// pre-sig implementation keep verifying.
 func spaceSignature(tlbs []pricedTLB, caches []pricedCache, budget float64) string {
-	h := fnv.New64a()
-	put := func(vs ...any) {
-		for _, v := range vs {
-			fmt.Fprintf(h, "%v|", v)
-		}
-	}
-	put("budget", budget, len(tlbs), len(caches))
+	h := sig.New()
+	h.Put("budget", budget, len(tlbs), len(caches))
 	for _, t := range tlbs {
-		put(t.cfg, t.area, t.cpi)
+		h.Put(t.cfg, t.area, t.cpi)
 	}
 	for _, c := range caches {
-		put(c.cfg, c.area, c.icpi, c.dcpi)
+		h.Put(c.cfg, c.area, c.icpi, c.dcpi)
 	}
-	return fmt.Sprintf("%016x", h.Sum64())
+	return h.String()
 }
