@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-advisor race fuzz crossval check clean
+.PHONY: all build test vet bench bench-advisor bench-search race fuzz crossval crossval-search check clean
 
 all: build
 
@@ -38,6 +38,14 @@ bench:
 bench-advisor:
 	BENCH_ADVISOR_JSON=$(CURDIR)/BENCH_advisor.json $(GO) test -run TestBenchAdvisorArtifact -count=1 -v ./internal/chaos/
 
+# bench-search times exhaustive-vs-pruned pricing of the big (>=1M
+# triple) design space with the same model and records configs/sec for
+# both strategies in BENCH_search.json. Ranking identity is asserted
+# inside the test; the speedup itself is reported, not gated (the
+# acceptance floor is 10x, judged from the artifact).
+bench-search:
+	BENCH_SEARCH_JSON=$(CURDIR)/BENCH_search.json $(GO) test -run TestSearchBenchArtifact -count=1 -v ./internal/experiments/
+
 fuzz:
 	$(GO) test -fuzz=FuzzTrace -fuzztime=20s -run=FuzzTrace ./internal/trace/
 	$(GO) test -fuzz=FuzzTraceCacheRoundTrip -fuzztime=20s -run=FuzzTraceCacheRoundTrip ./internal/tracecache/
@@ -50,7 +58,17 @@ crossval:
 		-run 'CrossValidat|AgreesWithDirect|MatchesLegacy|MatchesSerial|TestTee|TestBatched|TestRefMeter' \
 		./internal/cheetah/ ./internal/experiments/ ./internal/trace/
 
-check: vet build race crossval bench
+# crossval-search pins the pruned branch-and-bound search to the
+# exhaustive oracle, under the race detector: byte-identical top-K on
+# the paper's Table 5 grid (Table 6 and Table 7 settings, measured
+# models) and on ~200 randomized small spaces. Any divergence between
+# the pruned and exhaustive rankings fails here.
+crossval-search:
+	$(GO) test -race -count=1 \
+		-run 'TestPrunedMatchesExhaustive|TestSearchCrossValidation|TestTieBreakDeterministic|TestPrunedAccountingInvariant' \
+		./internal/search/ ./internal/experiments/
+
+check: vet build race crossval crossval-search bench
 
 clean:
 	$(GO) clean ./...

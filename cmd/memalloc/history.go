@@ -33,8 +33,10 @@ func runHistory(args []string, globalRefs int) int {
 	tsdbDir := fs.String("tsdb", "", "also persist sampled metric series to this time-series store root")
 	traceCacheDir := fs.String("trace-cache", "", "cache generated workload reference streams under this directory (warm runs replay instead of regenerating)")
 	shards := fs.Int("shards", 0, "set shards per sweep simulator group (power of two; 0 = automatic; never changes results)")
+	searchStrategy := fs.String("search", "exhaustive", "design-space search strategy for the allocation experiments: exhaustive or pruned (byte-identical top-10)")
+	spacePreset := fs.String("space", "table5", "design space for the allocation experiments: table5 (the paper's grid) or big (>=1M triples, power-law miss model off-grid)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, `usage: memalloc history [-refs N] [-dir DIR | -o FILE] [-tsdb DIR] [-trace-cache DIR] [-shards N] <experiment>... | all
+		fmt.Fprintln(os.Stderr, `usage: memalloc history [-refs N] [-dir DIR | -o FILE] [-tsdb DIR] [-trace-cache DIR] [-shards N] [-search S] [-space P] <experiment>... | all
 
 Runs the experiments with metrics collection on and persists the
 end-of-run telemetry snapshot as BENCH_<runid>.json, for later
@@ -43,7 +45,11 @@ metric series are also persisted to the durable time-series store, so
 one invocation feeds both "memalloc compare" and "memalloc tsdb trend".
 -trace-cache and -shards speed the sweeps up without changing any
 simulation result (compare warm-vs-cold snapshots with
--ignore 'tracecache\..*').`)
+-ignore 'tracecache\..*'). -search pruned keeps the allocation
+rankings byte-identical too; compare a pruned vs an exhaustive run
+with -ignore 'search\.configs_' (the strategies price and keep
+different counts; the pruned-only search.pruned_*/search.bound_*
+gauges are excluded automatically).`)
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -57,7 +63,10 @@ simulation result (compare warm-vs-cold snapshots with
 
 	start := time.Now()
 	reg := telemetry.NewRegistry()
-	opt := experiments.Options{Refs: *refs, Metrics: reg, Context: ctx, Shards: *shards}
+	opt := experiments.Options{
+		Refs: *refs, Metrics: reg, Context: ctx, Shards: *shards,
+		SearchStrategy: *searchStrategy, SpacePreset: *spacePreset,
+	}
 	if *traceCacheDir != "" {
 		tc, err := tracecache.Open(*traceCacheDir)
 		if err != nil {

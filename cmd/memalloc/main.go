@@ -13,6 +13,20 @@
 // (paths, sampling). -refs controls the simulated references per
 // workload/OS run; larger is slower and less noisy.
 //
+// Design-space search flags (allocation experiments table6/table7):
+//
+//	-search STRATEGY  "exhaustive" (default) prices every TLB x
+//	                  I-cache x D-cache triple; "pruned" runs the
+//	                  Pareto/branch-and-bound engine, which reports a
+//	                  byte-identical top-10 while pricing a small
+//	                  fraction of the space (not compatible with
+//	                  -checkpoint/-resume)
+//	-space PRESET     "table5" (default) is the paper's grid; "big" is
+//	                  the >=1M-triple production space -- the simulators
+//	                  still sweep only the Table 5 grid, and off-grid
+//	                  configurations are priced by a power-law miss
+//	                  model fitted to the sweep output
+//
 // Observability flags (all off by default; the default output is
 // byte-identical to an uninstrumented run):
 //
@@ -116,6 +130,8 @@ func main() {
 
 func run() int {
 	refs := flag.Int("refs", 0, "simulated references per workload run (0 = experiment default)")
+	searchStrategy := flag.String("search", "exhaustive", "design-space search strategy for the allocation experiments: exhaustive prices every triple; pruned runs the Pareto/branch-and-bound engine (byte-identical top-10)")
+	spacePreset := flag.String("space", "table5", "design space for the allocation experiments: table5 (the paper's grid) or big (>=1M triples; off-grid configurations priced by the power-law miss model)")
 	metricsFile := flag.String("metrics", "", "write run manifest and metrics as JSONL to this file")
 	traceFile := flag.String("trace", "", "write the machine stall-event window as JSONL to this file")
 	progress := flag.Bool("progress", false, "stream live progress lines to stderr")
@@ -185,6 +201,8 @@ func run() int {
 	}
 
 	opt := experiments.Options{Refs: *refs, Context: ctx}
+	opt.SearchStrategy = *searchStrategy
+	opt.SpacePreset = *spacePreset
 	opt.CheckpointPath = *checkpoint
 	opt.ResumePath = *resume
 	if *resume != "" && opt.CheckpointPath == "" {

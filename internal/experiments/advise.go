@@ -8,6 +8,7 @@ import (
 	"onchip/internal/area"
 	"onchip/internal/osmodel"
 	"onchip/internal/search"
+	"onchip/internal/search/missmodel"
 	"onchip/internal/sig"
 	"onchip/internal/workload"
 )
@@ -15,7 +16,8 @@ import (
 // adviseVersion participates in every request signature, so any change
 // to the advise pipeline's semantics (parameterization, response
 // shape) re-keys cached results instead of serving stale ones.
-const adviseVersion = 1
+// Version 2 added the Space field (and big-space pruned routing).
+const adviseVersion = 2
 
 // AdviseRequest parameterizes one allocation-advice run: the question
 // "given this area budget, OS personality and workload mix, which
@@ -41,6 +43,12 @@ type AdviseRequest struct {
 	// Top is the number of ranked allocations returned; zero selects 10
 	// (the tables' depth).
 	Top int `json:"top,omitempty"`
+	// Space selects the design space: "table5" (empty selects it) is
+	// the paper's grid, enumerated exhaustively; "big" is the
+	// >=1M-triple production space, routed through the pruned search
+	// with the simulators still sweeping only the Table 5 grid and
+	// off-grid configurations priced by the power-law miss model.
+	Space string `json:"space,omitempty"`
 }
 
 // Normalize validates the request and canonicalizes it in place --
@@ -100,6 +108,14 @@ func (r *AdviseRequest) Normalize(maxRefs int) error {
 	if r.Top < 1 || r.Top > 1000 {
 		return fmt.Errorf("advise: top %d outside [1, 1000]", r.Top)
 	}
+	switch strings.ToLower(strings.TrimSpace(r.Space)) {
+	case "", "table5":
+		r.Space = "table5"
+	case "big":
+		r.Space = "big"
+	default:
+		return fmt.Errorf("advise: unknown space %q (want table5 or big)", r.Space)
+	}
 	return nil
 }
 
@@ -114,7 +130,7 @@ func (r AdviseRequest) Signature() string {
 	for _, w := range r.Workloads {
 		h.Put(w)
 	}
-	h.Put(r.Refs, r.BudgetRBE, r.MaxCacheAssoc, r.Top)
+	h.Put(r.Refs, r.BudgetRBE, r.MaxCacheAssoc, r.Top, r.Space)
 	return h.String()
 }
 
@@ -137,7 +153,10 @@ type AdviseResponse struct {
 	Signature string `json:"signature"`
 	// Request echoes the normalized parameters the answer is for.
 	Request AdviseRequest `json:"request"`
-	// Feasible is the number of allocations within the budget.
+	// Feasible is the number of allocations within the budget. Under
+	// the big-space pruned search it is the number of allocations
+	// returned (at most Top): the engine only materializes the top of
+	// the ranking, never the full feasible set.
 	Feasible int `json:"feasible"`
 	// Allocations holds the Top best allocations by ascending CPI.
 	Allocations []RankedAllocation `json:"allocations"`
@@ -164,10 +183,21 @@ func Advise(req AdviseRequest, opt Options) (*AdviseResponse, error) {
 		}
 		specs = append(specs, spec)
 	}
-	space := search.Table5()
-	space.MaxCacheAssoc = req.MaxCacheAssoc
+	// The simulators always sweep the Table 5 grid; a big-space request
+	// widens only the search, with off-grid configurations priced by
+	// the power-law extension and the space explored pruned (an
+	// exhaustive scan of millions of triples per request would let one
+	// caller monopolize the daemon).
+	grid := search.Table5()
+	grid.MaxCacheAssoc = req.MaxCacheAssoc
+	space := grid
+	big := req.Space == "big"
+	if big {
+		space = search.Big()
+		space.MaxCacheAssoc = req.MaxCacheAssoc
+	}
 
-	model, failed, err := buildMeasuredModel(v, specs, space, req.Refs, opt)
+	measured, failed, err := buildMeasuredModel(v, specs, grid, req.Refs, opt)
 	if err != nil {
 		return nil, fmt.Errorf("advise: model-building sweep: %w", err)
 	}
@@ -175,8 +205,13 @@ func Advise(req AdviseRequest, opt Options) (*AdviseResponse, error) {
 		return nil, fmt.Errorf("advise: degraded model (%d workload sweep(s) failed: %s)",
 			len(failed), strings.Join(failed, "; "))
 	}
-	allocs, err := search.EnumerateE(space, area.Default(), req.BudgetRBE, model,
-		search.WithContext(opt.ctx()))
+	var model search.PerfModel = measured
+	searchOpts := []search.Option{search.WithContext(opt.ctx())}
+	if big {
+		model = missmodel.FromMeasured(measured)
+		searchOpts = append(searchOpts, search.WithPruning(req.Top))
+	}
+	allocs, err := search.EnumerateE(space, area.Default(), req.BudgetRBE, model, searchOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("advise: enumeration: %w", err)
 	}

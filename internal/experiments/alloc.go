@@ -16,6 +16,7 @@ import (
 	"onchip/internal/osmodel"
 	"onchip/internal/report"
 	"onchip/internal/search"
+	"onchip/internal/search/missmodel"
 	"onchip/internal/spans"
 	"onchip/internal/tapeworm"
 	"onchip/internal/telemetry"
@@ -433,17 +434,53 @@ func flushMeter(s trace.Sink) {
 	}
 }
 
+// allocTableDepth is how many ranked rows the allocation tables report
+// (the paper's Table 6/7 depth). It is also the pruned strategy's
+// top-K: the engine only guarantees byte-identity for the first K rows,
+// so K and the table depth must agree.
+const allocTableDepth = 10
+
 func runAllocation(opt Options, space search.Space, id, title string, extraNotes []string) (Result, error) {
+	pruned, err := opt.searchPruned()
+	if err != nil {
+		return Result{}, err
+	}
+	big, err := opt.bigSpace()
+	if err != nil {
+		return Result{}, err
+	}
+	if pruned && (opt.CheckpointPath != "" || opt.ResumePath != "") {
+		// EnumerateE would refuse this too, but only after the sweep;
+		// fail before hours of simulation are sunk into it.
+		return Result{}, fmt.Errorf("pruned search does not support checkpoint/resume (use -search exhaustive for resumable sweeps)")
+	}
 	refs := opt.refs(defaultSweepRefs)
+	// The simulators always sweep the grid the experiment defines
+	// (Table 5 shaped); under the big preset the search space is wider
+	// and off-grid configurations are priced by the power-law extension
+	// of the measured model.
+	grid := space
+	if big {
+		space = search.Big()
+		space.MaxCacheAssoc = grid.MaxCacheAssoc
+	}
 	// Experiments run on the caller's goroutine, so the phase spans
 	// share its lane and nest under whatever span the caller has open
 	// (the binaries open "experiment.<id>").
 	lane := opt.Spans.Lane("main")
 	modelSpan := lane.Start("sweep.model")
-	model, failedWorkloads, err := buildMeasuredModel(osmodel.Mach, workload.All(), space, refs, opt)
+	measured, failedWorkloads, err := buildMeasuredModel(osmodel.Mach, workload.All(), grid, refs, opt)
 	modelSpan.End()
 	if err != nil {
 		return Result{}, fmt.Errorf("model-building sweep: %w", err)
+	}
+	var model search.PerfModel = measured
+	var extended *missmodel.Extended
+	if big {
+		extended = missmodel.FromMeasured(measured)
+		model = extended
+		opt.progressf("search: big preset, %d of %d triples on the measured grid; off-grid priced by the power-law fit",
+			grid.Triples(), space.Triples())
 	}
 	// The checkpoint label binds a checkpoint file to this experiment
 	// and scale; the space signature inside search then binds it to the
@@ -451,6 +488,11 @@ func runAllocation(opt Options, space search.Space, id, title string, extraNotes
 	// a differently-degraded model is refused, not silently wrong.
 	label := fmt.Sprintf("%s/refs=%d", id, refs)
 	searchOpts := []search.Option{search.WithContext(opt.ctx()), search.WithSpans(lane)}
+	var pstats search.PruneStats
+	if pruned {
+		searchOpts = append(searchOpts,
+			search.WithPruning(allocTableDepth), search.WithPruneStats(&pstats))
+	}
 	if opt.Progress != nil || opt.SweepObserver != nil {
 		searchOpts = append(searchOpts, search.WithProgress(0, func(p search.Progress) {
 			if opt.Progress != nil {
@@ -491,25 +533,57 @@ func runAllocation(opt Options, space search.Space, id, title string, extraNotes
 	if err != nil {
 		return Result{}, fmt.Errorf("enumeration: %w", err)
 	}
-	nc := len(space.CacheConfigs())
-	opt.Metrics.Counter("search.configs_priced", "TLB x I-cache x D-cache combinations priced").
-		Add(uint64(len(space.TLBConfigs()) * nc * nc))
+	priced := opt.Metrics.Counter("search.configs_priced", "TLB x I-cache x D-cache combinations priced")
+	if pruned {
+		priced.Add(uint64(pstats.Priced))
+		opt.Metrics.Gauge("search.pruned_frontier_triples",
+			"triples removed by the per-axis Pareto-K frontier reduction").Set(float64(pstats.PrunedFrontier))
+		opt.Metrics.Gauge("search.pruned_total_triples",
+			"triples dismissed without pricing (frontier + budget + CPI bound)").Set(float64(pstats.Pruned()))
+		opt.Metrics.Gauge("search.bound_budget_triples",
+			"triples skipped by the monotone area budget bound").Set(float64(pstats.PrunedBudget))
+		opt.Metrics.Gauge("search.bound_cpi_triples",
+			"triples skipped by the optimistic CPI lower bound").Set(float64(pstats.PrunedBound))
+	} else {
+		priced.Add(uint64(space.Triples()))
+	}
 	opt.Metrics.Counter("search.configs_kept", "allocations within the area budget").Add(uint64(len(allocs)))
 	t := report.NewTable(title,
 		"Rank", "TLB", "I-cache", "D-cache", "Total rbe", "Total CPI")
-	for i, a := range search.Top(allocs, 10) {
+	top := search.Top(allocs, allocTableDepth)
+	for i, a := range top {
 		allocRow(t, i+1, a)
 	}
 	// Like the paper's Table 7, show how far behind a poorly chosen
 	// configuration falls (its example was rank 1529 of the restricted
-	// space).
+	// space). The pruned strategy only materializes the top of the
+	// ranking, so the tail row is exhaustive-only.
 	if len(allocs) > 100 {
 		tail := len(allocs) * 3 / 4
 		allocRow(t, tail+1, allocs[tail])
 	}
-	notes := append([]string{
-		fmt.Sprintf("%d feasible allocations under the %d-rbe budget", len(allocs), area.BudgetRBE),
-	}, extraNotes...)
+	var notes []string
+	if pruned {
+		notes = append(notes, fmt.Sprintf(
+			"pruned search: top %d of %d composed triples; %d priced, %d pruned (%d frontier, %d budget, %d CPI bound)",
+			len(allocs), pstats.Composed, pstats.Priced,
+			pstats.Pruned(), pstats.PrunedFrontier, pstats.PrunedBudget, pstats.PrunedBound))
+	} else {
+		notes = append(notes, fmt.Sprintf(
+			"%d feasible allocations under the %d-rbe budget", len(allocs), area.BudgetRBE))
+	}
+	if extended != nil {
+		onGrid := 0
+		for _, a := range top {
+			if extended.Measured(a.TLB, a.ICache, a.DCache) {
+				onGrid++
+			}
+		}
+		notes = append(notes, fmt.Sprintf(
+			"big preset: %d of the %d reported rows lie on the measured Table 5 grid; the rest are power-law modeled",
+			onGrid, len(top)))
+	}
+	notes = append(notes, extraNotes...)
 	if len(failedWorkloads) > 0 {
 		notes = append(notes, fmt.Sprintf(
 			"DEGRADED: %d workload sweep(s) failed and are excluded from the model: %s",

@@ -85,6 +85,20 @@ type Options struct {
 	// worker-pool width. Sharding never changes results, only how the
 	// simulation parallelizes.
 	Shards int
+	// SearchStrategy selects how the allocation experiments (table6,
+	// table7) enumerate the design space: "exhaustive" (or empty, the
+	// default) prices every triple; "pruned" runs the Pareto /
+	// branch-and-bound engine, which returns a byte-identical top-10
+	// while pricing a small fraction of the space. Pruned search does
+	// not compose with CheckpointPath/ResumePath.
+	SearchStrategy string
+	// SpacePreset selects the design space the allocation experiments
+	// search: "table5" (or empty, the default) is the paper's grid;
+	// "big" is the >=1M-triple production space (search.Big()). The
+	// simulators still sweep only the Table 5 grid -- off-grid
+	// configurations are priced by the missmodel power-law extension of
+	// the measured model.
+	SpacePreset string
 }
 
 // ctx returns the experiment context, never nil.
@@ -100,6 +114,28 @@ func (o Options) refs(def int) int {
 		return o.Refs
 	}
 	return def
+}
+
+// searchPruned resolves the SearchStrategy field.
+func (o Options) searchPruned() (bool, error) {
+	switch o.SearchStrategy {
+	case "", "exhaustive":
+		return false, nil
+	case "pruned":
+		return true, nil
+	}
+	return false, fmt.Errorf("unknown search strategy %q (want exhaustive or pruned)", o.SearchStrategy)
+}
+
+// bigSpace resolves the SpacePreset field.
+func (o Options) bigSpace() (bool, error) {
+	switch o.SpacePreset {
+	case "", "table5":
+		return false, nil
+	case "big":
+		return true, nil
+	}
+	return false, fmt.Errorf("unknown space preset %q (want table5 or big)", o.SpacePreset)
 }
 
 // progressf emits one progress line when a Progress sink is installed.

@@ -104,9 +104,12 @@ type Delta struct {
 // Wall-clock metrics (per telemetry.IsWallClock: names containing
 // "_seconds" such as sweep.stage_seconds.*, and the span.* duration
 // folds) are machine- and load-dependent by nature, so they are
-// excluded from the comparison entirely. Everything else the simulators
+// excluded from the comparison entirely, as are the pruned search
+// engine's arrangement counters (per telemetry.IsSearchStrategy:
+// search.pruned_*, search.bound_*), which differ between strategies
+// that produce byte-identical rankings. Everything else the simulators
 // publish is a deterministic function of the inputs; the tsdb trend
-// gate applies the same predicate.
+// gate applies the same predicates.
 func Compare(a, b Run, threshold float64) []Delta {
 	am := indexMetrics(a.Metrics)
 	bm := indexMetrics(b.Metrics)
@@ -125,7 +128,7 @@ func Compare(a, b Run, threshold float64) []Delta {
 		}
 	}
 	for name := range names {
-		if telemetry.IsWallClock(name) {
+		if telemetry.IsWallClock(name) || telemetry.IsSearchStrategy(name) {
 			continue
 		}
 		ma, oka := am[name]

@@ -9,7 +9,6 @@ package search
 import (
 	"context"
 	"fmt"
-	"sort"
 	"time"
 
 	"onchip/internal/area"
@@ -39,6 +38,34 @@ func Table5() Space {
 		CacheAssocs:  []int{1, 2, 4, 8},
 		CacheLines:   []int{1, 2, 4, 8, 16, 32},
 	}
+}
+
+// Big returns the production-scale design space of ROADMAP item 2: the
+// Table 5 axes extended to finer and larger organizations -- TLBs from
+// 16 to 2048 entries with up to 16-way and more fully-associative
+// points, caches from 1 to 256 KB with lines up to 64 words and up to
+// 16-way associativity. The composed TLB x I-cache x D-cache space
+// exceeds a million triples (TestBigSpaceSize pins the floor), which is
+// what the pruned search exists to price; exhaustive enumeration still
+// works, just slowly.
+func Big() Space {
+	return Space{
+		TLBEntries:   []int{16, 32, 64, 128, 256, 512, 1024, 2048},
+		TLBAssocs:    []int{1, 2, 4, 8, 16},
+		TLBFAEntries: []int{16, 32, 64, 128},
+		CacheSizes: []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10,
+			32 << 10, 64 << 10, 128 << 10, 256 << 10},
+		CacheAssocs: []int{1, 2, 4, 8, 16},
+		CacheLines:  []int{1, 2, 4, 8, 16, 32, 64},
+	}
+}
+
+// Triples returns the size of the composed TLB x I-cache x D-cache
+// space: the denominator of every progress report and the "configs"
+// in configs/sec throughput numbers.
+func (s Space) Triples() int {
+	nc := len(s.CacheConfigs())
+	return len(s.TLBConfigs()) * nc * nc
 }
 
 // TLBConfigs expands the space's TLB configurations.
@@ -109,26 +136,51 @@ func (a Allocation) String() string {
 // callback installed with WithProgress.
 type Progress struct {
 	// Priced is the number of TLB x I-cache x D-cache combinations
-	// considered so far; Total the size of the whole space.
+	// actually considered so far; Total is the size of the whole
+	// composed space (pre-pruning, so the same space reports the same
+	// Total under either strategy).
 	Priced, Total int
-	// Kept is the number of combinations within the area budget so far.
+	// Pruned is the number of combinations dismissed without pricing:
+	// zero under exhaustive enumeration; under the pruned strategy, the
+	// triples removed by the Pareto frontier reduction plus the
+	// subtrees skipped by the branch-and-bound cuts. Priced+Pruned
+	// converges on Total, so progress views stay live even when almost
+	// nothing is individually priced.
+	Pruned int
+	// Kept is the number of combinations within the area budget so far
+	// (under pruning, the current top-K candidate count).
 	Kept int
 	// Elapsed is the wall time since enumeration began; ETA the
-	// estimated remaining time, extrapolated from the pricing rate.
+	// estimated remaining time, extrapolated from the coverage rate
+	// (priced plus pruned, not priced alone).
 	Elapsed, ETA time.Duration
-	// Done marks the final report (Priced == Total).
+	// Done marks the final report (Priced+Pruned == Total).
 	Done bool
 }
+
+// Covered is the portion of the composed space accounted for so far,
+// priced or pruned. It is the numerator of every rate and percentage
+// Progress reports; using Priced alone would show a pruned search
+// stalled at a fraction of a percent while it is in fact nearly done.
+func (p Progress) Covered() int { return p.Priced + p.Pruned }
 
 // MarshalJSON emits the snapshot with durations in seconds, the shape
 // served by the observability plane's /sweep endpoint.
 func (p Progress) MarshalJSON() ([]byte, error) {
 	return []byte(fmt.Sprintf(
-		`{"priced":%d,"total":%d,"kept":%d,"elapsed_seconds":%.3f,"eta_seconds":%.3f,"done":%v}`,
-		p.Priced, p.Total, p.Kept, p.Elapsed.Seconds(), p.ETA.Seconds(), p.Done)), nil
+		`{"priced":%d,"pruned":%d,"total":%d,"kept":%d,"elapsed_seconds":%.3f,"eta_seconds":%.3f,"done":%v}`,
+		p.Priced, p.Pruned, p.Total, p.Kept, p.Elapsed.Seconds(), p.ETA.Seconds(), p.Done)), nil
 }
 
 func (p Progress) String() string {
+	if p.Pruned > 0 {
+		if p.Done {
+			return fmt.Sprintf("priced %d + pruned %d of %d configs, %d kept, %.2fs",
+				p.Priced, p.Pruned, p.Total, p.Kept, p.Elapsed.Seconds())
+		}
+		return fmt.Sprintf("priced %d + pruned %d of %d configs (%.0f%%), %d kept, ETA %.1fs",
+			p.Priced, p.Pruned, p.Total, 100*float64(p.Covered())/float64(p.Total), p.Kept, p.ETA.Seconds())
+	}
 	if p.Done {
 		return fmt.Sprintf("priced %d/%d configs, %d within budget, %.2fs",
 			p.Priced, p.Total, p.Kept, p.Elapsed.Seconds())
@@ -150,6 +202,33 @@ type options struct {
 	onCheckpoint  func(*Checkpoint)
 	resume        *Checkpoint
 	lane          *spans.Lane
+	pruneTopK     int
+	pruneStats    *PruneStats
+}
+
+// WithPruning switches the enumeration to the pruned strategy: each
+// component axis is reduced to its K-level area/CPI Pareto frontier,
+// and the composed space is explored with branch-and-bound under the
+// monotone area cost and optimistic CPI lower bounds. Only the topK
+// best allocations are returned, but they are byte-identical to
+// Top(exhaustive ranking, topK) at equal inputs -- the frontier
+// reduction only drops a component configuration when at least topK
+// provably better substitutes exist for every composition it appears
+// in, and a bound only cuts a subtree when its best possible CPI is
+// strictly worse than the current K-th best. topK must be positive.
+//
+// Pruning composes with WithProgress and WithContext but not with
+// WithCheckpoint/WithResume: a pruned search re-prices in milliseconds,
+// so EnumerateE refuses the combination instead of persisting state.
+func WithPruning(topK int) Option {
+	return func(o *options) { o.pruneTopK = topK }
+}
+
+// WithPruneStats records the pruned strategy's accounting -- frontier
+// sizes and per-cut prune counts -- into st when the enumeration
+// completes. Exhaustive runs leave st untouched.
+func WithPruneStats(st *PruneStats) Option {
+	return func(o *options) { o.pruneStats = st }
 }
 
 // WithProgress installs a callback that receives sweep progress roughly
@@ -223,7 +302,8 @@ type pricedCache struct {
 
 // Enumerate prices every combination in the space, filters to the area
 // budget, computes total CPI with the performance model, and returns the
-// allocations sorted by ascending CPI (ties by ascending area). Component
+// allocations in ranking order (ascending CPI, then ascending area, then
+// a deterministic configuration tie-break; see lessAlloc). Component
 // areas and CPIs are computed once per distinct configuration, so the
 // full Table 5 space (about a quarter-million combinations) enumerates
 // in milliseconds.
@@ -262,6 +342,17 @@ func EnumerateE(space Space, am area.Model, budget float64, pm PerfModel, opts .
 	}
 
 	base := pm.BaseCPI()
+
+	if o.pruneTopK < 0 {
+		return nil, fmt.Errorf("search: WithPruning top-K %d is negative", o.pruneTopK)
+	}
+	if o.pruneTopK > 0 {
+		if o.cpPath != "" || o.resume != nil {
+			return nil, fmt.Errorf("search: pruned search does not support checkpoint/resume (a pruned sweep re-prices from scratch faster than a checkpoint loads; use the exhaustive strategy for resumable sweeps)")
+		}
+		return enumeratePruned(tlbs, caches, base, budget, &o)
+	}
+
 	var out []Allocation
 
 	// Progress accounting: a (TLB, I-cache) pair over budget prunes all
@@ -339,14 +430,7 @@ func EnumerateE(space Space, am area.Model, budget float64, pm PerfModel, opts .
 	if o.ctx != nil {
 		done = o.ctx.Done()
 	}
-	sortOut := func() {
-		sort.Slice(out, func(i, j int) bool {
-			if out[i].CPI != out[j].CPI {
-				return out[i].CPI < out[j].CPI
-			}
-			return out[i].AreaRBE < out[j].AreaRBE
-		})
-	}
+	sortOut := func() { sortAllocations(out) }
 
 	pair := 0
 	for _, t := range tlbs {
